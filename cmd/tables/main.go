@@ -1,0 +1,144 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation from the simulated substrate.
+//
+// Usage:
+//
+//	tables -what all|1|2|3|4|5|6|tor|vpn|figures [-scale quick|mid|paper] [-seed n]
+//
+// The paper scale (11 VPs × 77 websites × 50 trials) is faithful but
+// slow; quick reproduces the shapes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"intango/internal/experiment"
+	"intango/internal/ignorepath"
+)
+
+func main() {
+	var (
+		what  = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,figures")
+		scale = flag.String("scale", "quick", "campaign scale: quick, mid, paper")
+		seed  = flag.Int64("seed", 42, "population/campaign seed")
+	)
+	flag.Parse()
+
+	r := experiment.NewRunner(*seed)
+	var sc experiment.Scale
+	switch *scale {
+	case "paper":
+		sc = experiment.PaperScale()
+	case "mid":
+		sc = experiment.Scale{VPs: 11, Servers: 30, Trials: 5}
+	default:
+		sc = experiment.QuickScale()
+	}
+
+	want := func(key string) bool { return *what == "all" || *what == key }
+	ran := false
+
+	if want("1") {
+		ran = true
+		fmt.Printf("== Table 1: existing strategies (%d VPs × %d servers × %d trials) ==\n", sc.VPs, sc.Servers, sc.Trials)
+		fmt.Print(experiment.FormatTable1(experiment.RunTable1Parallel(r, sc)))
+		fmt.Println()
+	}
+	if want("2") {
+		ran = true
+		fmt.Println("== Table 2: client-side middlebox behaviours ==")
+		fmt.Print(experiment.FormatTable2(experiment.RunTable2(*seed)))
+		fmt.Println()
+	}
+	if want("3") {
+		ran = true
+		fmt.Println("== Table 3: server/GFW discrepancies (ignore-path analysis) ==")
+		findings := ignorepath.Analyze()
+		fmt.Print(ignorepath.FormatTable3(findings))
+		fmt.Println("cross-validation:")
+		for _, note := range ignorepath.CrossValidation(findings) {
+			fmt.Println("  " + note)
+		}
+		fmt.Println()
+	}
+	if want("4") {
+		ran = true
+		fmt.Printf("== Table 4: new strategies (%d servers × %d trials) ==\n", sc.Servers, sc.Trials)
+		inside := experiment.RunTable4Parallel(r, experiment.VantagePoints(), experiment.Servers(sc.Servers, r.Cal, *seed), sc.Trials)
+		inside = append(inside, experiment.RunTable4INTANG(r,
+			experiment.VantagePoints(), experiment.Servers(sc.Servers/2+1, r.Cal, *seed), sc.Trials))
+		fmt.Print(experiment.FormatTable4("Inside China", inside))
+		outN := sc.Servers / 2
+		if outN < 4 {
+			outN = 4
+		}
+		outside := experiment.RunTable4Parallel(r, experiment.OutsideVantagePoints(),
+			experiment.OutsideServers(outN, r.Cal, *seed), sc.Trials)
+		fmt.Print(experiment.FormatTable4("Outside China", outside))
+		fmt.Println()
+	}
+	if want("5") {
+		ran = true
+		fmt.Println("== Table 5: preferred insertion-packet constructions ==")
+		fmt.Print(experiment.FormatTable5(experiment.RunTable5(r)))
+		fmt.Println()
+	}
+	if want("6") {
+		ran = true
+		queries := 5
+		if *scale == "paper" {
+			queries = 100
+		} else if *scale == "mid" {
+			queries = 20
+		}
+		fmt.Printf("== Table 6: TCP DNS evasion (%d queries per VP/resolver) ==\n", queries)
+		fmt.Print(experiment.FormatTable6(experiment.RunTable6(r, queries)))
+		fmt.Println()
+	}
+	if want("tor") {
+		ran = true
+		attempts := 2
+		if *scale != "quick" {
+			attempts = 5
+		}
+		fmt.Println("== §7.3: Tor bridge blocking and INTANG rescue ==")
+		fmt.Print(experiment.FormatTor(experiment.RunTor(r, attempts)))
+		fmt.Println()
+	}
+	if want("vpn") {
+		ran = true
+		fmt.Println("== §7.3: OpenVPN-over-TCP ==")
+		fmt.Print(experiment.FormatVPN(experiment.RunVPN(r)))
+		fmt.Println()
+	}
+	if want("ablation") {
+		ran = true
+		fmt.Println("== §8 ablation: GFW countermeasures vs strategy suite ==")
+		fmt.Print(experiment.FormatAblation(experiment.RunAblation(r)))
+		fmt.Println()
+	}
+	if want("diagnose") {
+		ran = true
+		fmt.Println("== §3.4 failure attribution (controlled re-runs) ==")
+		vps := experiment.VantagePoints()
+		servers := experiment.Servers(sc.Servers, r.Cal, *seed)
+		for _, strat := range []string{"teardown-rst/ttl", "improved-teardown", "ooo-ipfrag"} {
+			counts := r.DiagnoseCampaign(strat, vps, servers, sc.Trials)
+			fmt.Print(experiment.FormatDiagnosis(strat, counts))
+		}
+		fmt.Println()
+	}
+	if want("figures") {
+		ran = true
+		fmt.Println(experiment.Figure1(r))
+		fmt.Println(experiment.Figure2(r))
+		fmt.Println(experiment.Figure3(r))
+		fmt.Println(experiment.Figure4(r))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,figures\n", *what)
+		os.Exit(2)
+	}
+}

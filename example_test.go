@@ -1,0 +1,62 @@
+package intango_test
+
+import (
+	"fmt"
+
+	"intango"
+)
+
+// The canonical flow: a sensitive request is censored, the Fig. 4
+// combined strategy evades.
+func ExamplePlayground() {
+	pg := intango.NewPlayground(intango.PlaygroundConfig{Seed: 1})
+
+	conn := pg.Fetch("/?q=ultrasurf", nil)
+	fmt.Println("plain:", pg.Outcome(conn))
+
+	pg.WaitOutBlock()
+	conn = pg.Fetch("/?q=ultrasurf", intango.Strategies()["teardown-reversal"])
+	fmt.Println("evaded:", pg.Outcome(conn))
+	// Output:
+	// plain: failure-2
+	// evaded: success
+}
+
+// The headline finding of the paper: the 2013-era fake-SYN evasion
+// works against the old GFW model and fails against the evolved one.
+func ExamplePlayground_modelEvolution() {
+	strategy := intango.Strategies()["tcb-creation-syn/ttl"]
+
+	old := intango.NewPlayground(intango.PlaygroundConfig{
+		Seed: 2,
+		GFW: intango.GFWConfig{
+			Model:             intango.ModelKhattak2013,
+			Keywords:          []string{"ultrasurf"},
+			DetectionMissProb: -1,
+		},
+	})
+	fmt.Println("2013 model:", old.Outcome(old.Fetch("/?q=ultrasurf", strategy)))
+
+	evolved := intango.NewPlayground(intango.PlaygroundConfig{Seed: 2})
+	fmt.Println("2017 model:", evolved.Outcome(evolved.Fetch("/?q=ultrasurf", strategy)))
+	// Output:
+	// 2013 model: success
+	// 2017 model: failure-2
+}
+
+// Every §5/§7 strategy beats the evolved model on a clean path.
+func ExampleStrategies() {
+	for _, name := range []string{
+		"improved-teardown", "improved-prefill",
+		"creation-resync-desync", "teardown-reversal",
+	} {
+		pg := intango.NewPlayground(intango.PlaygroundConfig{Seed: 3})
+		conn := pg.Fetch("/?q=ultrasurf", intango.Strategies()[name])
+		fmt.Printf("%s: %s\n", name, pg.Outcome(conn))
+	}
+	// Output:
+	// improved-teardown: success
+	// improved-prefill: success
+	// creation-resync-desync: success
+	// teardown-reversal: success
+}

@@ -1,0 +1,74 @@
+// armsrace walks the §8 countermeasure ladder: each hardening the
+// paper discusses for the GFW, what it breaks, what survives, and the
+// counter-move it opens — the arms race, playable.
+package main
+
+import (
+	"fmt"
+
+	"intango"
+)
+
+func run(name string, gfwCfg intango.GFWConfig, serverOld bool, strategy string) string {
+	cfg := intango.PlaygroundConfig{Seed: 9, GFW: gfwCfg}
+	if serverOld {
+		cfg.ServerStack = oldServer()
+	}
+	pg := intango.NewPlayground(cfg)
+	var factory intango.StrategyFactory
+	if strategy != "none" {
+		factory = intango.Strategies()[strategy]
+	}
+	conn := pg.Fetch("/?q=ultrasurf", factory)
+	return pg.Outcome(conn)
+}
+
+func baseGFW() intango.GFWConfig {
+	return intango.GFWConfig{
+		Model:             intango.ModelEvolved2017,
+		Keywords:          []string{"ultrasurf"},
+		DetectionMissProb: -1,
+	}
+}
+
+func main() {
+	fmt.Println("Round 0 — the measured 2017 GFW:")
+	fmt.Printf("  no strategy:            %s\n", run("measured", baseGFW(), false, "none"))
+	fmt.Printf("  improved-teardown:      %s\n", run("measured", baseGFW(), false, "improved-teardown"))
+	fmt.Printf("  prefill/bad-checksum:   %s\n", run("measured", baseGFW(), false, "prefill/bad-checksum"))
+
+	fmt.Println("\nRound 1 — censor validates TCP checksums:")
+	g := baseGFW()
+	g.ValidateTCPChecksum = true
+	fmt.Printf("  prefill/bad-checksum:   %s   (insertion family dead)\n", run("ck", g, false, "prefill/bad-checksum"))
+	fmt.Printf("  improved-teardown:      %s   (TTL+MD5 untouched)\n", run("ck", g, false, "improved-teardown"))
+
+	fmt.Println("\nRound 2 — censor also ignores unsolicited-MD5 packets:")
+	g.ValidateMD5 = true
+	fmt.Printf("  improved-teardown:      %s   (its TTL RST still lands)\n", run("md5", g, false, "improved-teardown"))
+	fmt.Printf("  md5-request vs 4.4:     %s   (server validates MD5 too)\n", run("md5", g, false, "md5-request"))
+	fmt.Printf("  md5-request vs 2.4.37:  %s   (§8's opened counter-move)\n", run("md5", g, true, "md5-request"))
+
+	fmt.Println("\nRound 3 — censor trusts client data only after the server ACKs it:")
+	g2 := baseGFW()
+	g2.TrustDataAfterServerACK = true
+	fmt.Printf("  creation-resync-desync: %s   (the junk range is never ACKed)\n", run("ack", g2, false, "creation-resync-desync"))
+	fmt.Printf("  improved-prefill:       %s   (the ACK covers both copies!)\n", run("ack", g2, false, "improved-prefill"))
+	fmt.Printf("  teardown-reversal:      %s   (orientation confusion unaffected)\n", run("ack", g2, false, "teardown-reversal"))
+
+	fmt.Println("\nThe ambiguity Ptacek & Newsham described is structural: every")
+	fmt.Println("hardening shifts which strategies work, none eliminates them all.")
+}
+
+// oldServer returns a pre-RFC-2385 stack profile via the experiment
+// population (Linux 2.4.37).
+func oldServer() intango.StackProfile {
+	for _, p := range allProfiles() {
+		if p.Name == "linux-2.4.37" {
+			return p
+		}
+	}
+	panic("missing profile")
+}
+
+func allProfiles() []intango.StackProfile { return intango.StackProfiles() }

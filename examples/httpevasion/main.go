@@ -1,0 +1,49 @@
+// httpevasion sweeps the full strategy suite against both GFW
+// generations on one path, printing the per-strategy outcome matrix —
+// a one-screen recreation of the arc from Table 1 to Table 4.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"intango"
+)
+
+func main() {
+	strategies := intango.Strategies()
+	names := make([]string, 0, len(strategies))
+	for name := range strategies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	models := []struct {
+		label string
+		model intango.GFWModel
+	}{
+		{"2013 model", intango.ModelKhattak2013},
+		{"2017 model", intango.ModelEvolved2017},
+	}
+
+	fmt.Printf("%-30s %-12s %-12s\n", "strategy", models[0].label, models[1].label)
+	for _, name := range names {
+		fmt.Printf("%-30s", name)
+		for _, m := range models {
+			pg := intango.NewPlayground(intango.PlaygroundConfig{
+				Seed: 7,
+				GFW: intango.GFWConfig{
+					Model:             m.model,
+					Keywords:          []string{"ultrasurf"},
+					DetectionMissProb: -1,
+				},
+			})
+			conn := pg.Fetch("/?q=ultrasurf", strategies[name])
+			fmt.Printf(" %-12s", pg.Outcome(conn))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nNote how every pre-2017 strategy that relied on TCB creation or")
+	fmt.Println("FIN teardown flipped to failure-2 against the evolved model, while")
+	fmt.Println("the §5 strategies (resync/desync, reversal, improved-*) beat both.")
+}

@@ -1,0 +1,57 @@
+// Quickstart: censor a sensitive HTTP request with the simulated GFW,
+// then evade it with one of the paper's strategies — entirely through
+// the public intango API.
+package main
+
+import (
+	"fmt"
+
+	"intango"
+)
+
+func main() {
+	// A playground is a ready-made client—GFW—server topology with an
+	// evolved-model (2017) GFW device censoring "ultrasurf".
+	pg := intango.NewPlayground(intango.PlaygroundConfig{Seed: 1})
+
+	// 1. A clean request sails through.
+	conn := pg.Fetch("/index.html", nil)
+	fmt.Printf("clean request:              %s\n", pg.Outcome(conn))
+
+	// 2. A sensitive request gets the type-1/type-2 reset treatment and
+	//    the client/server pair lands on the 90-second blocklist.
+	pg.WaitOutBlock()
+	conn = pg.Fetch("/?q=ultrasurf", nil)
+	fmt.Printf("sensitive request:          %s\n", pg.Outcome(conn))
+
+	// 3. Wait out the blocklist, then send the same request through the
+	//    "TCB Teardown + TCB Reversal" combined strategy (Fig. 4).
+	pg.WaitOutBlock()
+	strategies := intango.Strategies()
+	conn = pg.Fetch("/?q=ultrasurf", strategies["teardown-reversal"])
+	fmt.Printf("with teardown-reversal:     %s\n", pg.Outcome(conn))
+
+	// 4. The desynchronization-based combined strategy (Fig. 3) works
+	//    too — as does a fresh playground whose GFW still runs the old
+	//    2013 model against the 2013-era fake-SYN trick.
+	pg.WaitOutBlock()
+	conn = pg.Fetch("/?q=ultrasurf", strategies["creation-resync-desync"])
+	fmt.Printf("with creation-resync-desync: %s\n", pg.Outcome(conn))
+
+	old := intango.NewPlayground(intango.PlaygroundConfig{
+		Seed: 2,
+		GFW: intango.GFWConfig{
+			Model:             intango.ModelKhattak2013,
+			Keywords:          []string{"ultrasurf"},
+			DetectionMissProb: -1,
+		},
+	})
+	conn = old.Fetch("/?q=ultrasurf", strategies["tcb-creation-syn/ttl"])
+	fmt.Printf("2013 trick vs 2013 model:   %s\n", old.Outcome(conn))
+
+	// ...but the same trick fails against the evolved model, which is
+	// the paper's headline finding.
+	pg.WaitOutBlock()
+	conn = pg.Fetch("/?q=ultrasurf", strategies["tcb-creation-syn/ttl"])
+	fmt.Printf("2013 trick vs 2017 model:   %s\n", pg.Outcome(conn))
+}

@@ -1,0 +1,3 @@
+module intango
+
+go 1.22

@@ -1,0 +1,76 @@
+package intango
+
+import (
+	"testing"
+)
+
+func TestPlaygroundNoStrategyIsCensored(t *testing.T) {
+	pg := NewPlayground(PlaygroundConfig{Seed: 1})
+	conn := pg.Fetch("/?q=ultrasurf", nil)
+	if got := pg.Outcome(conn); got != "failure-2" {
+		t.Fatalf("outcome = %q, want failure-2", got)
+	}
+}
+
+func TestPlaygroundCleanFetchWorks(t *testing.T) {
+	pg := NewPlayground(PlaygroundConfig{Seed: 1})
+	conn := pg.Fetch("/index.html", nil)
+	if got := pg.Outcome(conn); got != "success" {
+		t.Fatalf("outcome = %q, want success", got)
+	}
+}
+
+func TestPlaygroundStrategiesEvade(t *testing.T) {
+	for _, name := range []string{"improved-teardown", "improved-prefill", "creation-resync-desync", "teardown-reversal"} {
+		pg := NewPlayground(PlaygroundConfig{Seed: 2})
+		conn := pg.Fetch("/?q=ultrasurf", Strategies()[name])
+		if got := pg.Outcome(conn); got != "success" {
+			t.Errorf("%s: outcome = %q, want success", name, got)
+		}
+	}
+}
+
+func TestPlaygroundBlocklistAndRecovery(t *testing.T) {
+	pg := NewPlayground(PlaygroundConfig{Seed: 3})
+	pg.Fetch("/?q=ultrasurf", nil) // trips the blocklist
+	conn := pg.Fetch("/clean", nil)
+	if got := pg.Outcome(conn); got == "success" {
+		t.Fatal("fetch during the 90-second block should fail")
+	}
+	pg.WaitOutBlock()
+	conn = pg.Fetch("/clean", nil)
+	if got := pg.Outcome(conn); got != "success" {
+		t.Fatalf("post-block outcome = %q", got)
+	}
+}
+
+func TestPlaygroundDeterministic(t *testing.T) {
+	run := func() string {
+		pg := NewPlayground(PlaygroundConfig{Seed: 7})
+		return pg.Outcome(pg.Fetch("/?q=ultrasurf", Strategies()["teardown-rst/ttl"]))
+	}
+	if run() != run() {
+		t.Fatal("equal seeds must give equal outcomes")
+	}
+}
+
+func TestStrategiesExported(t *testing.T) {
+	m := Strategies()
+	if len(m) < 15 {
+		t.Fatalf("only %d strategies exported", len(m))
+	}
+	if _, ok := m["teardown-reversal"]; !ok {
+		t.Fatal("missing teardown-reversal")
+	}
+}
+
+func TestOldModelPlayground(t *testing.T) {
+	cfg := PlaygroundConfig{Seed: 4}
+	cfg.GFW = GFWConfig{Model: ModelKhattak2013, Keywords: []string{"ultrasurf"}, DetectionMissProb: -1}
+	pg := NewPlayground(cfg)
+	// The 2013-era fake-SYN evasion still beats the old model.
+	conn := pg.Fetch("/?q=ultrasurf", Strategies()["tcb-creation-syn/ttl"])
+	if got := pg.Outcome(conn); got != "success" {
+		t.Fatalf("outcome = %q", got)
+	}
+}

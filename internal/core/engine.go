@@ -1,0 +1,182 @@
+package core
+
+import (
+	"time"
+
+	"intango/internal/netem"
+	"intango/internal/packet"
+	"intango/internal/tcpstack"
+)
+
+// Engine interposes between a client TCP stack and the network — the
+// position INTANG occupies with netfilter-queue (§6). It tracks flows,
+// instantiates a per-connection Strategy, applies it to outbound
+// packets, and re-sends insertion packets to survive loss.
+type Engine struct {
+	Sim   *netem.Simulator
+	Path  *netem.Path
+	Stack *tcpstack.Stack
+	Env   Env
+
+	// NewStrategy picks the strategy for a new flow. A nil return (or
+	// nil field) passes traffic through untouched.
+	NewStrategy func(tuple packet.FourTuple) Strategy
+
+	// OnInbound, when set, observes every inbound packet before the
+	// stack (INTANG's DNS thread and hop-count prober hook in here).
+	// Returning false consumes the packet.
+	OnInbound func(pkt *packet.Packet) bool
+	// OnOutbound, when set, observes every packet leaving the stack
+	// before strategies run. Returning false consumes the packet
+	// (INTANG's DNS forwarder redirects UDP queries this way).
+	OnOutbound func(pkt *packet.Packet) bool
+	// OnOutboundRaw, when set, observes every packet actually emitted.
+	OnOutboundRaw func(em Emission)
+
+	flows map[packet.FourTuple]*flowState
+}
+
+type flowState struct {
+	flow  Flow
+	strat Strategy
+}
+
+// NewEngine wires an engine between stack and the client end of path.
+func NewEngine(sim *netem.Simulator, path *netem.Path, stack *tcpstack.Stack, env Env) *Engine {
+	e := &Engine{
+		Sim: sim, Path: path, Stack: stack, Env: env,
+		flows: make(map[packet.FourTuple]*flowState),
+	}
+	stack.Send = e.Outbound
+	path.Client = e
+	return e
+}
+
+// StrategyFor returns the live strategy instance for a flow, if any.
+func (e *Engine) StrategyFor(tuple packet.FourTuple) (Strategy, bool) {
+	fs, ok := e.flows[tuple]
+	if !ok || fs.strat == nil {
+		return nil, false
+	}
+	return fs.strat, true
+}
+
+// Outbound intercepts a packet leaving the client stack.
+func (e *Engine) Outbound(pkt *packet.Packet) {
+	if e.OnOutbound != nil && !e.OnOutbound(pkt) {
+		return
+	}
+	if pkt.TCP == nil {
+		e.send(Emission{Pkt: pkt})
+		return
+	}
+	tuple := pkt.Tuple()
+	fs := e.flows[tuple]
+	if fs == nil {
+		fs = &flowState{flow: Flow{Tuple: tuple, Env: &e.Env}}
+		if e.NewStrategy != nil {
+			fs.strat = e.NewStrategy(tuple)
+		}
+		e.flows[tuple] = fs
+	}
+	f := &fs.flow
+	tcp := pkt.TCP
+
+	// Track the flow state strategies craft against.
+	if tcp.FlagsOnly(packet.FlagSYN) {
+		f.ISS = tcp.Seq
+		f.SndNxt = tcp.Seq
+	}
+	if tcp.HasFlag(packet.FlagACK) {
+		if tcp.Ack.After(f.RcvNxt) {
+			f.RcvNxt = tcp.Ack
+		}
+		if !f.HandshakeDone && !tcp.HasFlag(packet.FlagSYN) {
+			f.HandshakeDone = true
+		}
+	}
+
+	var emissions []Emission
+	if fs.strat != nil {
+		emissions = fs.strat.Outbound(f, pkt)
+	} else {
+		emissions = []Emission{real(pkt)}
+	}
+
+	if end := pkt.EndSeq(); end.After(f.SndNxt) {
+		f.SndNxt = end
+	}
+	f.DataSent += len(pkt.Payload)
+
+	e.emit(emissions)
+}
+
+// emit sends a volley. Insertion packets are sent in Env.Repeat waves
+// (20 ms apart by default, §3.4) to survive loss and middlebox drops;
+// the volley's real packets are held until the final wave, so the
+// insertions get every chance to take effect on the GFW before the
+// protected traffic passes it. Volleys with no insertions go out
+// immediately.
+func (e *Engine) emit(emissions []Emission) {
+	repeat := e.Env.Repeat
+	if repeat < 1 {
+		repeat = 1
+	}
+	gap := e.Env.RepeatGap
+	if gap == 0 {
+		gap = 20 * time.Millisecond
+	}
+	hasInsertion := false
+	for _, em := range emissions {
+		if em.Insertion {
+			hasInsertion = true
+			break
+		}
+	}
+	if !hasInsertion {
+		for _, em := range emissions {
+			e.send(em)
+		}
+		return
+	}
+	finalWave := time.Duration(repeat-1) * gap
+	for wave := 0; wave < repeat; wave++ {
+		delay := time.Duration(wave) * gap
+		last := wave == repeat-1
+		for _, em := range emissions {
+			switch {
+			case em.Insertion:
+				clone := em.Pkt.Clone()
+				e.Sim.At(delay, func() { e.send(Emission{Pkt: clone, Insertion: true}) })
+			case last:
+				p := em.Pkt
+				e.Sim.At(finalWave, func() { e.send(Emission{Pkt: p}) })
+			}
+		}
+	}
+}
+
+func (e *Engine) send(em Emission) {
+	if e.OnOutboundRaw != nil {
+		e.OnOutboundRaw(em)
+	}
+	e.Path.SendFromClient(em.Pkt)
+}
+
+// Deliver implements netem.Endpoint for the client end.
+func (e *Engine) Deliver(pkt *packet.Packet) {
+	if e.OnInbound != nil && !e.OnInbound(pkt) {
+		return
+	}
+	if pkt.TCP != nil && pkt.TCP.HasFlag(packet.FlagSYN) && pkt.TCP.HasFlag(packet.FlagACK) {
+		if fs, ok := e.flows[pkt.Tuple().Reverse()]; ok {
+			fs.flow.ServerISN = pkt.TCP.Seq
+		}
+	}
+	e.Stack.Deliver(pkt)
+}
+
+// Reset drops all flow state (between trials).
+func (e *Engine) Reset() {
+	e.flows = make(map[packet.FourTuple]*flowState)
+}

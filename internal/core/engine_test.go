@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"intango/internal/gfw"
+	"intango/internal/packet"
+	"intango/internal/tcpstack"
+)
+
+// recordingStrategy captures the flow state it was offered.
+type recordingStrategy struct {
+	flows []Flow
+	pkts  []uint8 // flag sets seen
+}
+
+func (r *recordingStrategy) Name() string { return "recording" }
+func (r *recordingStrategy) Outbound(f *Flow, pkt *packet.Packet) []Emission {
+	r.flows = append(r.flows, *f)
+	r.pkts = append(r.pkts, pkt.TCP.Flags)
+	return []Emission{{Pkt: pkt}}
+}
+
+func TestEngineTracksFlowState(t *testing.T) {
+	r := newTrialRig(t, evolved(), nil, nil)
+	rec := &recordingStrategy{}
+	r.engine.NewStrategy = func(packet.FourTuple) Strategy { return rec }
+	c := r.cli.Connect(srvAddr, 80)
+	r.sim.RunFor(200 * time.Millisecond)
+	if c.State() != tcpstack.Established {
+		t.Fatalf("state = %v", c.State())
+	}
+	c.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	r.sim.RunFor(time.Second)
+
+	if len(rec.flows) < 3 {
+		t.Fatalf("strategy saw %d packets", len(rec.flows))
+	}
+	// SYN first: ISS recorded, handshake not done.
+	if rec.pkts[0] != packet.FlagSYN {
+		t.Fatalf("first packet flags %v", packet.FlagString(rec.pkts[0]))
+	}
+	if rec.flows[0].ISS != c.ISS() || rec.flows[0].HandshakeDone {
+		t.Fatalf("SYN flow state: %+v", rec.flows[0])
+	}
+	// Handshake ACK: done, RcvNxt = server ISN+1.
+	if !rec.flows[1].HandshakeDone {
+		t.Fatalf("ACK flow state: %+v", rec.flows[1])
+	}
+	if rec.flows[1].ServerISN.Add(1) != rec.flows[1].RcvNxt {
+		t.Fatalf("RcvNxt %d vs ServerISN %d", rec.flows[1].RcvNxt, rec.flows[1].ServerISN)
+	}
+	// Data packet: DataSent still 0 when the strategy runs (so
+	// first-data triggers fire), SndNxt = ISS+1.
+	dataFlow := rec.flows[2]
+	if dataFlow.DataSent != 0 {
+		t.Fatalf("DataSent = %d before first data", dataFlow.DataSent)
+	}
+	if dataFlow.SndNxt != c.ISS().Add(1) {
+		t.Fatalf("SndNxt = %d", dataFlow.SndNxt)
+	}
+}
+
+func TestEngineStrategyForAndReset(t *testing.T) {
+	r := newTrialRig(t, evolved(), NewImprovedTeardown(), nil)
+	c := r.cli.Connect(srvAddr, 80)
+	r.sim.RunFor(100 * time.Millisecond)
+	tuple := packet.FourTuple{SrcAddr: cliAddr, SrcPort: c.LocalPort(), DstAddr: srvAddr, DstPort: 80}
+	if s, ok := r.engine.StrategyFor(tuple); !ok || s.Name() != "improved-teardown" {
+		t.Fatalf("StrategyFor = %v %v", s, ok)
+	}
+	r.engine.Reset()
+	if _, ok := r.engine.StrategyFor(tuple); ok {
+		t.Fatal("flows should be gone after Reset")
+	}
+}
+
+func TestEngineOnOutboundConsumes(t *testing.T) {
+	r := newTrialRig(t, evolved(), nil, nil)
+	dropped := 0
+	r.engine.OnOutbound = func(pkt *packet.Packet) bool {
+		if pkt.UDP != nil {
+			dropped++
+			return false
+		}
+		return true
+	}
+	delivered := 0
+	r.srv.ListenUDP(99, func(packet.Addr, uint16, []byte) { delivered++ })
+	r.cli.SendUDP(1000, srvAddr, 99, []byte("x"))
+	r.sim.RunFor(time.Second)
+	if dropped != 1 || delivered != 0 {
+		t.Fatalf("dropped=%d delivered=%d", dropped, delivered)
+	}
+}
+
+func TestEngineNonTCPPassThrough(t *testing.T) {
+	r := newTrialRig(t, evolved(), nil, nil)
+	got := 0
+	r.srv.ListenUDP(99, func(packet.Addr, uint16, []byte) { got++ })
+	r.cli.SendUDP(1000, srvAddr, 99, []byte("ping"))
+	r.sim.RunFor(time.Second)
+	if got != 1 {
+		t.Fatalf("udp delivered %d", got)
+	}
+}
+
+func TestEngineRepeatWavesPreserveOrder(t *testing.T) {
+	// Each wave must contain the insertions in their original order so
+	// (SYN, desync) pairs keep their causality (Fig. 3).
+	r := newTrialRig(t, evolved(), NewResyncDesync(), nil)
+	type sent struct {
+		flags uint8
+		seq   packet.Seq
+	}
+	var log []sent
+	r.engine.OnOutboundRaw = func(em Emission) {
+		if em.Insertion {
+			log = append(log, sent{em.Pkt.TCP.Flags, em.Pkt.TCP.Seq})
+		}
+	}
+	if got := r.runTrial(t); got != Success {
+		t.Fatalf("outcome %v", got)
+	}
+	// Post-handshake waves: SYN then desync-data, three times.
+	var postPairs int
+	for i := 0; i+1 < len(log); i++ {
+		if log[i].flags == packet.FlagSYN && log[i+1].flags == packet.FlagPSH|packet.FlagACK {
+			postPairs++
+		}
+	}
+	if postPairs < 3 {
+		t.Fatalf("ordered SYN→desync pairs = %d, want ≥3:\n%v", postPairs, log)
+	}
+}
+
+func TestEngineNoStrategySendsNothingExtra(t *testing.T) {
+	r := newTrialRig(t, evolved(), nil, nil)
+	count := 0
+	r.engine.OnOutboundRaw = func(em Emission) {
+		if em.Insertion {
+			count++
+		}
+	}
+	r.runTrial(t)
+	if count != 0 {
+		t.Fatalf("passthrough emitted %d insertions", count)
+	}
+}
+
+func TestWestChamberKillsOwnConnection(t *testing.T) {
+	r := newTrialRig(t, evolved(), NewWestChamber(), nil)
+	if got := r.runTrial(t); got != Failure1 {
+		t.Fatalf("west-chamber outcome = %v, want failure-1 (its bare RST reaches the server)", got)
+	}
+}
+
+func TestMD5RequestAgainstHardenedGFW(t *testing.T) {
+	cfg := evolved()
+	cfg.ValidateMD5 = true // §8 hardened censor
+	r := newTrialRig(t, cfg, NewMD5TaggedRequest(), nil)
+	// Against a modern server the MD5-tagged request is ignored by the
+	// server too: Failure 1.
+	if got := r.runTrial(t); got != Failure1 {
+		t.Fatalf("vs linux-4.4: %v, want failure-1", got)
+	}
+	// Against a pre-RFC-2385 server it sails through.
+	r2 := newTrialRig(t, cfg, NewMD5TaggedRequest(), nil)
+	r2.srv.Profile = tcpstack.Linux2437()
+	if got := r2.runTrial(t); got != Success {
+		t.Fatalf("vs linux-2.4.37: %v, want success", got)
+	}
+	_ = gfw.Config{}
+}

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"intango/internal/packet"
+)
+
+// --- §3.2 existing strategies ---
+
+// TCBCreation is "TCB creation with SYN": a fake-sequence SYN insertion
+// packet before the real handshake, creating a false TCB on the (old)
+// GFW so the real connection is out of its window.
+type TCBCreation struct {
+	Disc  Discrepancy
+	fired bool
+}
+
+// NewTCBCreation returns the strategy with the given insertion
+// discrepancy (Table 1 rows: TTL, bad checksum).
+func NewTCBCreation(d Discrepancy) Factory {
+	return func() Strategy { return &TCBCreation{Disc: d} }
+}
+
+// Name implements Strategy.
+func (s *TCBCreation) Name() string { return "tcb-creation-syn/" + s.Disc.String() }
+
+// Outbound implements Strategy.
+func (s *TCBCreation) Outbound(f *Flow, pkt *packet.Packet) []Emission {
+	if pkt.TCP.FlagsOnly(packet.FlagSYN) && !s.fired {
+		s.fired = true
+		return []Emission{insertion(fakeSYN(f, s.Disc)), real(pkt)}
+	}
+	return []Emission{real(pkt)}
+}
+
+// OutOfOrderIPFrag is the out-of-order IP-fragment overlap strategy:
+// the request is fragmented; a junk copy of the tail fragment is sent
+// first (the GFW keeps the first copy of overlapping fragments), then
+// the real tail, then the head to fill the gap. Retransmissions of the
+// same segment are re-fragmented, so a lossy or fragment-dropping path
+// never sees the request whole.
+type OutOfOrderIPFrag struct {
+	fired    bool
+	firstSeq packet.Seq
+}
+
+// NewOutOfOrderIPFrag returns the strategy.
+func NewOutOfOrderIPFrag() Factory { return func() Strategy { return &OutOfOrderIPFrag{} } }
+
+// Name implements Strategy.
+func (s *OutOfOrderIPFrag) Name() string { return "ooo-ipfrag" }
+
+// Outbound implements Strategy.
+func (s *OutOfOrderIPFrag) Outbound(f *Flow, pkt *packet.Packet) []Emission {
+	retransmit := s.fired && len(pkt.Payload) > 0 && pkt.TCP.Seq == s.firstSeq
+	if !retransmit && (s.fired || len(pkt.Payload) < 16 || f.DataSent > 0) {
+		return []Emission{real(pkt)}
+	}
+	s.fired = true
+	s.firstSeq = pkt.TCP.Seq
+	// Fragment so the first fragment carries only the TCP header: all
+	// payload bytes (and hence the keyword, wherever it sits) land in
+	// later fragments, which the decoys shadow.
+	maxData := (pkt.TCP.HeaderLen() + 7) &^ 7
+	frags, err := packet.Fragment(pkt, packet.IPv4HeaderLen+maxData)
+	if err != nil || len(frags) < 2 {
+		return []Emission{real(pkt)}
+	}
+	// §3.2 order: junk at offset X first (the GFW keeps the first copy
+	// of overlapping fragments), then the real data at X, and finally
+	// the gap-filling head. Overlap repeats would corrupt the server's
+	// last-wins reassembly, so every piece goes out exactly once.
+	var out []Emission
+	for _, tail := range frags[1:] {
+		decoy := tail.Clone()
+		decoy.Payload = junk(len(decoy.Payload))
+		decoy.Finalize()
+		out = append(out, real(decoy))
+	}
+	for _, tail := range frags[1:] {
+		out = append(out, real(tail))
+	}
+	return append(out, real(frags[0]))
+}
+
+// OutOfOrderTCPSeg is the TCP-segment variant: real tail segment first,
+// junk copy second (the old GFW prefers the latter for out-of-order
+// segments; the server keeps the first), then the head segment.
+type OutOfOrderTCPSeg struct{ fired bool }
+
+// NewOutOfOrderTCPSeg returns the strategy.
+func NewOutOfOrderTCPSeg() Factory { return func() Strategy { return &OutOfOrderTCPSeg{} } }
+
+// Name implements Strategy.
+func (s *OutOfOrderTCPSeg) Name() string { return "ooo-tcpseg" }
+
+// Outbound implements Strategy.
+func (s *OutOfOrderTCPSeg) Outbound(f *Flow, pkt *packet.Packet) []Emission {
+	if s.fired || len(pkt.Payload) < 4 || f.DataSent > 0 {
+		return []Emission{real(pkt)}
+	}
+	s.fired = true
+	k := 4 // split right after the method token, before any keyword
+	if k >= len(pkt.Payload) {
+		k = len(pkt.Payload) / 2
+	}
+	seg := func(seq packet.Seq, payload []byte) *packet.Packet {
+		p := packet.NewTCP(f.Tuple.SrcAddr, f.Tuple.SrcPort, f.Tuple.DstAddr, f.Tuple.DstPort,
+			packet.FlagPSH|packet.FlagACK, seq, f.RcvNxt, payload)
+		return p.Finalize()
+	}
+	tailSeq := pkt.TCP.Seq.Add(k)
+	realTail := seg(tailSeq, pkt.Payload[k:])
+	junkTail := seg(tailSeq, junk(len(pkt.Payload)-k))
+	head := seg(pkt.TCP.Seq, pkt.Payload[:k])
+	return []Emission{real(realTail), real(junkTail), real(head)}
+}
+
+// InOrderPrefill is the in-order data overlapping strategy: a junk
+// insertion packet shadowing the real request fills the GFW's buffer
+// first; both GFW and server accept the first in-order copy, but the
+// server never accepts the junk thanks to the discrepancy.
+type InOrderPrefill struct {
+	Discs []Discrepancy
+	fired bool
+}
+
+// NewInOrderPrefill returns the strategy with the given insertion
+// discrepancies (one junk copy per discrepancy).
+func NewInOrderPrefill(discs ...Discrepancy) Factory {
+	return func() Strategy { return &InOrderPrefill{Discs: discs} }
+}
+
+// Name implements Strategy.
+func (s *InOrderPrefill) Name() string {
+	n := "prefill"
+	for _, d := range s.Discs {
+		n += "/" + d.String()
+	}
+	return n
+}
+
+// Outbound implements Strategy.
+func (s *InOrderPrefill) Outbound(f *Flow, pkt *packet.Packet) []Emission {
+	if s.fired || len(pkt.Payload) == 0 || f.DataSent > 0 {
+		return []Emission{real(pkt)}
+	}
+	s.fired = true
+	var out []Emission
+	for _, d := range s.Discs {
+		out = append(out, insertion(prefillPacket(f, pkt, d)))
+	}
+	return append(out, real(pkt))
+}
+
+// TCBTeardown sends a RST, RST/ACK or FIN insertion packet after the
+// handshake to deactivate the GFW's TCB before the request.
+type TCBTeardown struct {
+	Flags uint8
+	Disc  Discrepancy
+	fired bool
+}
+
+// NewTCBTeardown returns the strategy for the given teardown flags.
+func NewTCBTeardown(flags uint8, d Discrepancy) Factory {
+	return func() Strategy { return &TCBTeardown{Flags: flags, Disc: d} }
+}
+
+// Name implements Strategy.
+func (s *TCBTeardown) Name() string {
+	return "teardown-" + flagSlug(s.Flags) + "/" + s.Disc.String()
+}
+
+func flagSlug(flags uint8) string {
+	switch flags {
+	case packet.FlagRST:
+		return "rst"
+	case packet.FlagRST | packet.FlagACK:
+		return "rstack"
+	case packet.FlagFIN, packet.FlagFIN | packet.FlagACK:
+		return "fin"
+	default:
+		return packet.FlagString(flags)
+	}
+}
+
+// Outbound implements Strategy.
+func (s *TCBTeardown) Outbound(f *Flow, pkt *packet.Packet) []Emission {
+	if s.fired || len(pkt.Payload) == 0 || f.DataSent > 0 {
+		return []Emission{real(pkt)}
+	}
+	s.fired = true
+	return []Emission{insertion(teardownPacket(f, s.Flags, s.Disc)), real(pkt)}
+}
+
+// --- §5/§7 new and improved strategies ---
+
+// ImprovedTeardown is the §7.1 "Improved TCB Teardown": RST insertion
+// packets (TTL- and MD5-based, per Table 5) followed by a
+// desynchronization packet, so a GFW that answers the RST by entering
+// the resynchronization state is steered onto a garbage sequence.
+type ImprovedTeardown struct{ fired bool }
+
+// NewImprovedTeardown returns the strategy.
+func NewImprovedTeardown() Factory { return func() Strategy { return &ImprovedTeardown{} } }
+
+// Name implements Strategy.
+func (s *ImprovedTeardown) Name() string { return "improved-teardown" }
+
+// Outbound implements Strategy.
+func (s *ImprovedTeardown) Outbound(f *Flow, pkt *packet.Packet) []Emission {
+	if s.fired || len(pkt.Payload) == 0 || f.DataSent > 0 {
+		return []Emission{real(pkt)}
+	}
+	s.fired = true
+	return []Emission{
+		insertion(teardownPacket(f, packet.FlagRST, DiscTTL)),
+		insertion(teardownPacket(f, packet.FlagRST, DiscMD5)),
+		insertion(desyncPacket(f)),
+		real(pkt),
+	}
+}
+
+// ImprovedPrefill is the §7.1 "Improved In-order Data Overlapping":
+// junk insertion packets built from the MD5 and old-timestamp
+// discrepancies, which no middlebox in the study dropped.
+type ImprovedPrefill struct{ fired bool }
+
+// NewImprovedPrefill returns the strategy.
+func NewImprovedPrefill() Factory { return func() Strategy { return &ImprovedPrefill{} } }
+
+// Name implements Strategy.
+func (s *ImprovedPrefill) Name() string { return "improved-prefill" }
+
+// Outbound implements Strategy.
+func (s *ImprovedPrefill) Outbound(f *Flow, pkt *packet.Packet) []Emission {
+	if s.fired || len(pkt.Payload) == 0 || f.DataSent > 0 {
+		return []Emission{real(pkt)}
+	}
+	s.fired = true
+	return []Emission{
+		insertion(prefillPacket(f, pkt, DiscMD5)),
+		insertion(prefillPacket(f, pkt, DiscOldTimestamp)),
+		real(pkt),
+	}
+}
+
+// ResyncDesync is the Fig. 3 combined strategy: "TCB Creation +
+// Resync/Desync". A fake-sequence SYN before the handshake defeats the
+// old GFW model; a second SYN insertion after the handshake forces the
+// evolved model into the resynchronization state, where the
+// desynchronization packet strands it on a garbage sequence.
+type ResyncDesync struct {
+	synFired, dataFired bool
+}
+
+// NewResyncDesync returns the strategy.
+func NewResyncDesync() Factory { return func() Strategy { return &ResyncDesync{} } }
+
+// Name implements Strategy.
+func (s *ResyncDesync) Name() string { return "creation-resync-desync" }
+
+// Outbound implements Strategy.
+func (s *ResyncDesync) Outbound(f *Flow, pkt *packet.Packet) []Emission {
+	if pkt.TCP.FlagsOnly(packet.FlagSYN) && !s.synFired {
+		s.synFired = true
+		return []Emission{insertion(fakeSYN(f, DiscTTL)), real(pkt)}
+	}
+	if !s.dataFired && len(pkt.Payload) > 0 && f.DataSent == 0 {
+		s.dataFired = true
+		// The post-handshake SYN insertion cannot precede the SYN/ACK:
+		// the GFW would just resynchronize from the SYN/ACK's ack
+		// (§5.2). Triggering on the first data packet guarantees it.
+		return []Emission{
+			insertion(fakeSYN(f, DiscTTL)),
+			insertion(desyncPacket(f)),
+			real(pkt),
+		}
+	}
+	return []Emission{real(pkt)}
+}
+
+// TCBReversal is the Fig. 4 combined strategy: "TCB Teardown + TCB
+// Reversal". A SYN/ACK insertion before the handshake makes the
+// evolved GFW create a reversed TCB (it watches the wrong direction);
+// a RST insertion after the handshake tears down the old model's TCB.
+type TCBReversal struct {
+	synFired, dataFired bool
+}
+
+// NewTCBReversal returns the strategy.
+func NewTCBReversal() Factory { return func() Strategy { return &TCBReversal{} } }
+
+// Name implements Strategy.
+func (s *TCBReversal) Name() string { return "teardown-reversal" }
+
+// Outbound implements Strategy.
+func (s *TCBReversal) Outbound(f *Flow, pkt *packet.Packet) []Emission {
+	if pkt.TCP.FlagsOnly(packet.FlagSYN) && !s.synFired {
+		s.synFired = true
+		// Crafted with care (§5.2): the TTL discrepancy keeps it from
+		// reaching the server, whose LISTEN socket would answer with a
+		// RST and tear the reversed TCB right back down.
+		return []Emission{insertion(fakeSYNACK(f, DiscTTL)), real(pkt)}
+	}
+	if !s.dataFired && len(pkt.Payload) > 0 && f.DataSent == 0 {
+		s.dataFired = true
+		return []Emission{
+			insertion(teardownPacket(f, packet.FlagRST, DiscTTL)),
+			insertion(teardownPacket(f, packet.FlagRST, DiscMD5)),
+			real(pkt),
+		}
+	}
+	return []Emission{real(pkt)}
+}
+
+// WestChamber is the West Chamber Project baseline (§2, [25]): bare
+// RST/FIN teardown packets with no server-side discrepancy. They tear
+// the GFW's TCB down, but they also reach the server and kill the real
+// connection — which is why the paper found the tool ineffective.
+type WestChamber struct{ fired bool }
+
+// NewWestChamber returns the baseline.
+func NewWestChamber() Factory { return func() Strategy { return &WestChamber{} } }
+
+// Name implements Strategy.
+func (s *WestChamber) Name() string { return "west-chamber" }
+
+// Outbound implements Strategy.
+func (s *WestChamber) Outbound(f *Flow, pkt *packet.Packet) []Emission {
+	if s.fired || len(pkt.Payload) == 0 || f.DataSent > 0 {
+		return []Emission{real(pkt)}
+	}
+	s.fired = true
+	rst := packet.NewTCP(f.Tuple.SrcAddr, f.Tuple.SrcPort, f.Tuple.DstAddr, f.Tuple.DstPort,
+		packet.FlagRST, f.SndNxt, 0, nil)
+	fin := packet.NewTCP(f.Tuple.SrcAddr, f.Tuple.SrcPort, f.Tuple.DstAddr, f.Tuple.DstPort,
+		packet.FlagFIN|packet.FlagACK, f.SndNxt, f.RcvNxt, nil)
+	return []Emission{insertion(rst.Finalize()), insertion(fin.Finalize()), real(pkt)}
+}
+
+// MD5TaggedRequest is the §8 arms-race counter-counter-measure: if the
+// GFW hardens itself to ignore packets with unsolicited MD5 options,
+// tagging the *real* request with one makes it invisible to the censor
+// while servers that never check the option (e.g. Linux 2.4.37, or
+// kernels built without TCP-MD5) process it normally.
+type MD5TaggedRequest struct{}
+
+// NewMD5TaggedRequest returns the strategy.
+func NewMD5TaggedRequest() Factory { return func() Strategy { return &MD5TaggedRequest{} } }
+
+// Name implements Strategy.
+func (s *MD5TaggedRequest) Name() string { return "md5-request" }
+
+// Outbound implements Strategy.
+func (s *MD5TaggedRequest) Outbound(f *Flow, pkt *packet.Packet) []Emission {
+	if len(pkt.Payload) == 0 {
+		return []Emission{real(pkt)}
+	}
+	tagged := pkt.Clone()
+	var digest [16]byte
+	f.Env.Rand.Read(digest[:])
+	tagged.TCP.Options = append(tagged.TCP.Options, packet.MD5Option(digest))
+	tagged.Finalize()
+	return []Emission{real(tagged)}
+}
+
+// BuiltinFactories returns the full strategy suite keyed by name: the
+// Table 1 existing strategies and the Table 4 improved/new ones.
+func BuiltinFactories() map[string]Factory {
+	m := map[string]Factory{
+		"none":       func() Strategy { return Passthrough{} },
+		"ooo-ipfrag": NewOutOfOrderIPFrag(),
+		"ooo-tcpseg": NewOutOfOrderTCPSeg(),
+
+		"improved-teardown":      NewImprovedTeardown(),
+		"improved-prefill":       NewImprovedPrefill(),
+		"creation-resync-desync": NewResyncDesync(),
+		"teardown-reversal":      NewTCBReversal(),
+
+		"west-chamber": NewWestChamber(),
+		"md5-request":  NewMD5TaggedRequest(),
+	}
+	for _, d := range []Discrepancy{DiscTTL, DiscBadChecksum} {
+		m["tcb-creation-syn/"+d.String()] = NewTCBCreation(d)
+		m["teardown-rst/"+d.String()] = NewTCBTeardown(packet.FlagRST, d)
+		m["teardown-rstack/"+d.String()] = NewTCBTeardown(packet.FlagRST|packet.FlagACK, d)
+		m["teardown-fin/"+d.String()] = NewTCBTeardown(packet.FlagFIN|packet.FlagACK, d)
+	}
+	for _, d := range []Discrepancy{DiscTTL, DiscBadAck, DiscBadChecksum, DiscNoFlag} {
+		m["prefill/"+d.String()] = NewInOrderPrefill(d)
+	}
+	return m
+}

@@ -1,0 +1,219 @@
+// Package dnsmsg implements the subset of the DNS wire format
+// (RFC 1035) the system needs: A-record queries and responses over UDP,
+// and the 2-byte length-prefix framing used for DNS over TCP. It is
+// used by the INTANG DNS forwarder, the simulated resolvers, and the
+// GFW's DNS poisoner.
+package dnsmsg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"intango/internal/packet"
+)
+
+// Header flag bits.
+const (
+	FlagResponse      = 0x8000
+	FlagAuthoritative = 0x0400
+	FlagRecursionDes  = 0x0100
+	FlagRecursionAv   = 0x0080
+)
+
+// Record types and classes used here.
+const (
+	TypeA   = 1
+	ClassIN = 1
+)
+
+// Question is one query entry.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// Answer is one A-record answer.
+type Answer struct {
+	Name string
+	TTL  uint32
+	Addr packet.Addr
+}
+
+// Message is a DNS message restricted to A queries/answers.
+type Message struct {
+	ID        uint16
+	Flags     uint16
+	Questions []Question
+	Answers   []Answer
+}
+
+// IsResponse reports whether the QR bit is set.
+func (m *Message) IsResponse() bool { return m.Flags&FlagResponse != 0 }
+
+// NewQuery builds a recursive A query for name.
+func NewQuery(id uint16, name string) *Message {
+	return &Message{
+		ID:        id,
+		Flags:     FlagRecursionDes,
+		Questions: []Question{{Name: name, Type: TypeA, Class: ClassIN}},
+	}
+}
+
+// NewResponse builds a response answering query with addr.
+func NewResponse(query *Message, addr packet.Addr, ttl uint32) *Message {
+	resp := &Message{
+		ID:        query.ID,
+		Flags:     FlagResponse | FlagRecursionDes | FlagRecursionAv,
+		Questions: append([]Question(nil), query.Questions...),
+	}
+	if len(query.Questions) > 0 {
+		resp.Answers = []Answer{{Name: query.Questions[0].Name, TTL: ttl, Addr: addr}}
+	}
+	return resp
+}
+
+func appendName(b []byte, name string) ([]byte, error) {
+	if name == "" {
+		return append(b, 0), nil
+	}
+	for _, label := range strings.Split(name, ".") {
+		if len(label) == 0 || len(label) > 63 {
+			return nil, fmt.Errorf("dnsmsg: bad label %q in %q", label, name)
+		}
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	return append(b, 0), nil
+}
+
+func parseName(data []byte, p int) (string, int, error) {
+	var labels []string
+	for {
+		if p >= len(data) {
+			return "", 0, fmt.Errorf("dnsmsg: truncated name")
+		}
+		n := int(data[p])
+		if n == 0 {
+			p++
+			break
+		}
+		if n >= 0xc0 {
+			return "", 0, fmt.Errorf("dnsmsg: compression not supported")
+		}
+		p++
+		if p+n > len(data) {
+			return "", 0, fmt.Errorf("dnsmsg: truncated label")
+		}
+		labels = append(labels, string(data[p:p+n]))
+		p += n
+	}
+	return strings.Join(labels, "."), p, nil
+}
+
+// Encode serializes the message.
+func (m *Message) Encode() ([]byte, error) {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint16(b[0:], m.ID)
+	binary.BigEndian.PutUint16(b[2:], m.Flags)
+	binary.BigEndian.PutUint16(b[4:], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(b[6:], uint16(len(m.Answers)))
+	var err error
+	for _, q := range m.Questions {
+		if b, err = appendName(b, q.Name); err != nil {
+			return nil, err
+		}
+		b = binary.BigEndian.AppendUint16(b, q.Type)
+		b = binary.BigEndian.AppendUint16(b, q.Class)
+	}
+	for _, a := range m.Answers {
+		if b, err = appendName(b, a.Name); err != nil {
+			return nil, err
+		}
+		b = binary.BigEndian.AppendUint16(b, TypeA)
+		b = binary.BigEndian.AppendUint16(b, ClassIN)
+		b = binary.BigEndian.AppendUint32(b, a.TTL)
+		b = binary.BigEndian.AppendUint16(b, 4)
+		b = append(b, a.Addr[:]...)
+	}
+	return b, nil
+}
+
+// Decode parses a message.
+func Decode(data []byte) (*Message, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("dnsmsg: short message: %d bytes", len(data))
+	}
+	m := &Message{
+		ID:    binary.BigEndian.Uint16(data[0:]),
+		Flags: binary.BigEndian.Uint16(data[2:]),
+	}
+	qd := int(binary.BigEndian.Uint16(data[4:]))
+	an := int(binary.BigEndian.Uint16(data[6:]))
+	p := 12
+	for i := 0; i < qd; i++ {
+		name, np, err := parseName(data, p)
+		if err != nil {
+			return nil, err
+		}
+		p = np
+		if p+4 > len(data) {
+			return nil, fmt.Errorf("dnsmsg: truncated question")
+		}
+		m.Questions = append(m.Questions, Question{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(data[p:]),
+			Class: binary.BigEndian.Uint16(data[p+2:]),
+		})
+		p += 4
+	}
+	for i := 0; i < an; i++ {
+		name, np, err := parseName(data, p)
+		if err != nil {
+			return nil, err
+		}
+		p = np
+		if p+10 > len(data) {
+			return nil, fmt.Errorf("dnsmsg: truncated answer")
+		}
+		typ := binary.BigEndian.Uint16(data[p:])
+		ttl := binary.BigEndian.Uint32(data[p+4:])
+		rdlen := int(binary.BigEndian.Uint16(data[p+8:]))
+		p += 10
+		if p+rdlen > len(data) {
+			return nil, fmt.Errorf("dnsmsg: truncated rdata")
+		}
+		a := Answer{Name: name, TTL: ttl}
+		if typ == TypeA && rdlen == 4 {
+			copy(a.Addr[:], data[p:p+4])
+			m.Answers = append(m.Answers, a)
+		}
+		p += rdlen
+	}
+	return m, nil
+}
+
+// FrameTCP wraps a DNS message in the 2-byte length prefix used on TCP.
+func FrameTCP(msg []byte) []byte {
+	out := make([]byte, 2+len(msg))
+	binary.BigEndian.PutUint16(out, uint16(len(msg)))
+	copy(out[2:], msg)
+	return out
+}
+
+// UnframeTCP extracts complete DNS messages from a TCP stream buffer,
+// returning the messages and the number of bytes consumed.
+func UnframeTCP(stream []byte) (msgs [][]byte, consumed int) {
+	for {
+		if len(stream)-consumed < 2 {
+			return msgs, consumed
+		}
+		n := int(binary.BigEndian.Uint16(stream[consumed:]))
+		if len(stream)-consumed-2 < n {
+			return msgs, consumed
+		}
+		msgs = append(msgs, stream[consumed+2:consumed+2+n])
+		consumed += 2 + n
+	}
+}

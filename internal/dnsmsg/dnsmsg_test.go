@@ -1,0 +1,99 @@
+package dnsmsg
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"intango/internal/packet"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0x1234, "www.dropbox.com")
+	b, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 0x1234 || got.IsResponse() {
+		t.Fatalf("header = %+v", got)
+	}
+	if len(got.Questions) != 1 || got.Questions[0].Name != "www.dropbox.com" || got.Questions[0].Type != TypeA {
+		t.Fatalf("questions = %+v", got.Questions)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	q := NewQuery(7, "example.com")
+	addr := packet.AddrFrom4(93, 184, 216, 34)
+	r := NewResponse(q, addr, 300)
+	b, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsResponse() || got.ID != 7 {
+		t.Fatalf("header = %+v", got)
+	}
+	if len(got.Answers) != 1 || got.Answers[0].Addr != addr || got.Answers[0].TTL != 300 {
+		t.Fatalf("answers = %+v", got.Answers)
+	}
+}
+
+func TestEncodeRejectsBadLabels(t *testing.T) {
+	q := NewQuery(1, "bad..name")
+	if _, err := q.Encode(); err == nil {
+		t.Fatal("want error for empty label")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short message should fail")
+	}
+	q := NewQuery(1, "a.b")
+	b, _ := q.Encode()
+	if _, err := Decode(b[:len(b)-2]); err == nil {
+		t.Fatal("truncated question should fail")
+	}
+}
+
+func TestTCPFraming(t *testing.T) {
+	q1, _ := NewQuery(1, "a.com").Encode()
+	q2, _ := NewQuery(2, "b.com").Encode()
+	stream := append(FrameTCP(q1), FrameTCP(q2)...)
+	// Feed in two partial chunks.
+	msgs, consumed := UnframeTCP(stream[:len(FrameTCP(q1))+3])
+	if len(msgs) != 1 || consumed != len(FrameTCP(q1)) {
+		t.Fatalf("partial unframe: %d msgs, %d consumed", len(msgs), consumed)
+	}
+	msgs, consumed = UnframeTCP(stream)
+	if len(msgs) != 2 || consumed != len(stream) {
+		t.Fatalf("full unframe: %d msgs, %d consumed", len(msgs), consumed)
+	}
+	if !bytes.Equal(msgs[1], q2) {
+		t.Fatal("second message corrupted")
+	}
+}
+
+func TestNameRoundTripProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		name := "x" + string(rune('a'+a%26)) + "." + string(rune('a'+b%26)) + string(rune('a'+c%26)) + ".org"
+		q := NewQuery(9, name)
+		enc, err := q.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(enc)
+		return err == nil && got.Questions[0].Name == name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

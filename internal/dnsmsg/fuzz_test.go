@@ -1,0 +1,42 @@
+package dnsmsg
+
+import "testing"
+
+// FuzzDecode must never panic, and accepted messages must re-encode.
+func FuzzDecode(f *testing.F) {
+	q, _ := NewQuery(7, "www.example.com").Encode()
+	f.Add(q)
+	r, _ := NewResponse(NewQuery(8, "a.b"), [4]byte{1, 2, 3, 4}, 60).Encode()
+	f.Add(r)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if _, err := m.Encode(); err != nil {
+			// Decoded names may contain characters Encode rejects;
+			// errors are fine, panics are not.
+			_ = err
+		}
+	})
+}
+
+// FuzzUnframeTCP must never panic or over-consume.
+func FuzzUnframeTCP(f *testing.F) {
+	q, _ := NewQuery(9, "x.y").Encode()
+	f.Add(FrameTCP(q))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msgs, consumed := UnframeTCP(data)
+		if consumed > len(data) {
+			t.Fatalf("consumed %d > %d", consumed, len(data))
+		}
+		total := 0
+		for _, m := range msgs {
+			total += 2 + len(m)
+		}
+		if total != consumed {
+			t.Fatalf("consumed %d but messages account for %d", consumed, total)
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"intango/internal/core"
+	"intango/internal/gfw"
+	"intango/internal/tcpstack"
+)
+
+// Hardening names a §8 countermeasure configuration of the censor.
+type Hardening struct {
+	Name  string
+	Apply func(cfg *gfw.Config)
+}
+
+// Hardenings returns the §8 ablation ladder: the measured GFW plus
+// each discussed countermeasure.
+func Hardenings() []Hardening {
+	return []Hardening{
+		{Name: "measured (2017)", Apply: func(cfg *gfw.Config) {}},
+		{Name: "+checksum validation", Apply: func(cfg *gfw.Config) { cfg.ValidateTCPChecksum = true }},
+		{Name: "+md5 validation", Apply: func(cfg *gfw.Config) { cfg.ValidateMD5 = true }},
+		{Name: "+trust-after-server-ack", Apply: func(cfg *gfw.Config) { cfg.TrustDataAfterServerACK = true }},
+		{Name: "+all of the above", Apply: func(cfg *gfw.Config) {
+			cfg.ValidateTCPChecksum = true
+			cfg.ValidateMD5 = true
+			cfg.TrustDataAfterServerACK = true
+		}},
+	}
+}
+
+// AblationCell is one (strategy, hardening, server stack) outcome.
+type AblationCell struct {
+	Strategy  string
+	Hardening string
+	Server    string
+	Outcome   Outcome
+}
+
+// ablationStrategies lists the strategies the ablation sweeps —
+// Table 4's winners plus the two arms-race baselines.
+func ablationStrategies() []string {
+	return []string{
+		"improved-teardown",
+		"improved-prefill",
+		"creation-resync-desync",
+		"teardown-reversal",
+		"prefill/bad-checksum",
+		"west-chamber",
+		"md5-request",
+	}
+}
+
+// RunAblation sweeps strategies against each hardened censor on clean
+// controlled paths, on a modern server and (for the MD5 arms race) a
+// pre-RFC-2385 server.
+func RunAblation(r *Runner) []AblationCell {
+	vp := VantagePoints()[0]
+	base := Servers(1, r.Cal, r.Seed)[0]
+	base.Mix = EvolvedOnly
+	base.ServerSideFirewall = false
+	base.RouteDynamicsProb = 0
+	base.LossRate = 0
+
+	stacks := []tcpstack.Profile{tcpstack.Linux44(), tcpstack.Linux2437()}
+	factories := core.BuiltinFactories()
+
+	var cells []AblationCell
+	for _, h := range Hardenings() {
+		for _, strat := range ablationStrategies() {
+			for _, stack := range stacks {
+				srv := base
+				srv.Stack = stack
+				out := r.runHardened(vp, srv, factories[strat], h)
+				cells = append(cells, AblationCell{
+					Strategy: strat, Hardening: h.Name, Server: stack.Name, Outcome: out,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// runHardened is RunOne with a hardened GFW configuration.
+func (r *Runner) runHardened(vp VantagePoint, srv Server, factory core.Factory, h Hardening) Outcome {
+	saved := r.Cal.DetectionMissProb
+	r.Cal.DetectionMissProb = -1 // deterministic ablation
+	r.HardenGFW = h.Apply
+	defer func() {
+		r.Cal.DetectionMissProb = saved
+		r.HardenGFW = nil
+	}()
+	return r.RunOne(vp, srv, factory, true, 17)
+}
+
+// FormatAblation renders the matrix, one block per hardening.
+func FormatAblation(cells []AblationCell) string {
+	var b strings.Builder
+	byHardening := map[string][]AblationCell{}
+	var order []string
+	for _, c := range cells {
+		if _, ok := byHardening[c.Hardening]; !ok {
+			order = append(order, c.Hardening)
+		}
+		byHardening[c.Hardening] = append(byHardening[c.Hardening], c)
+	}
+	for _, h := range order {
+		fmt.Fprintf(&b, "%s\n", h)
+		fmt.Fprintf(&b, "  %-26s %-14s %-14s\n", "strategy", "linux-4.4", "linux-2.4.37")
+		byStrat := map[string]map[string]Outcome{}
+		var strats []string
+		for _, c := range byHardening[h] {
+			if byStrat[c.Strategy] == nil {
+				byStrat[c.Strategy] = map[string]Outcome{}
+				strats = append(strats, c.Strategy)
+			}
+			byStrat[c.Strategy][c.Server] = c.Outcome
+		}
+		for _, s := range strats {
+			fmt.Fprintf(&b, "  %-26s %-14s %-14s\n", s,
+				byStrat[s]["linux-4.4"], byStrat[s]["linux-2.4.37"])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"intango/internal/core"
+	"intango/internal/middlebox"
+	"intango/internal/tcpstack"
+)
+
+// The §3.4 future-work item, implemented: "To fully untangle the
+// factors causing failures and to quantify the impact of each, more
+// in-depth analysis and controlled experiments are required (e.g.,
+// using controlled replay server as in [18])." Given a failing trial,
+// Diagnose re-runs it in controlled variants with one suspected factor
+// removed at a time and reports which removals flip the outcome — the
+// simulated equivalent of moving the experiment onto a controlled
+// replay server.
+
+// Factor is one suspected failure cause that can be removed.
+type Factor struct {
+	Name  string
+	apply func(vp *VantagePoint, srv *Server, cal *Calibration)
+}
+
+// Factors returns the §3.4 failure-cause taxonomy: client-side
+// middleboxes, server-side middleboxes, server implementation
+// variation, network dynamics, packet loss, and GFW RST heterogeneity.
+func Factors() []Factor {
+	return []Factor{
+		{"client-side-middleboxes", func(vp *VantagePoint, srv *Server, cal *Calibration) {
+			vp.Profile = middlebox.ProfileName("")
+		}},
+		{"server-side-middleboxes", func(vp *VantagePoint, srv *Server, cal *Calibration) {
+			srv.ServerSideFirewall = false
+		}},
+		{"server-implementation", func(vp *VantagePoint, srv *Server, cal *Calibration) {
+			srv.Stack = tcpstack.Linux44()
+		}},
+		{"route-dynamics", func(vp *VantagePoint, srv *Server, cal *Calibration) {
+			srv.RouteDynamicsProb = 0
+		}},
+		{"packet-loss", func(vp *VantagePoint, srv *Server, cal *Calibration) {
+			srv.LossRate = 0
+		}},
+		{"gfw-rst-resync", func(vp *VantagePoint, srv *Server, cal *Calibration) {
+			cal.ResyncOnRSTProb = 0
+		}},
+		{"gfw-overlap-heterogeneity", func(vp *VantagePoint, srv *Server, cal *Calibration) {
+			cal.SegmentLastWinsProb = 1
+		}},
+	}
+}
+
+// Attribution is the diagnosis for one factor.
+type Attribution struct {
+	Factor string
+	// Outcome is the trial result with only this factor removed.
+	Outcome Outcome
+	// Explains: removing the factor alone flips the trial to success.
+	Explains bool
+}
+
+// Diagnosis is the full controlled-experiment result for one failing
+// trial.
+type Diagnosis struct {
+	VP, Server, Strategy string
+	Baseline             Outcome
+	Attributions         []Attribution
+	// Residual: no single factor explains the failure (interaction or
+	// inherent strategy weakness).
+	Residual bool
+}
+
+// Diagnose reruns a trial under controlled variants. A nil factory
+// means no strategy.
+func (r *Runner) Diagnose(vp VantagePoint, srv Server, strategyName string, trial int) Diagnosis {
+	factory := core.BuiltinFactories()[strategyName]
+	diag := Diagnosis{VP: vp.Name, Server: srv.Name, Strategy: strategyName}
+	diag.Baseline = r.RunOne(vp, srv, factory, true, trial)
+	if diag.Baseline == Success {
+		return diag
+	}
+	anyExplains := false
+	for _, f := range Factors() {
+		vpCopy, srvCopy, calCopy := vp, srv, r.Cal
+		f.apply(&vpCopy, &srvCopy, &calCopy)
+		sub := &Runner{Cal: calCopy, Seed: r.Seed}
+		out := sub.RunOne(vpCopy, srvCopy, factory, true, trial)
+		att := Attribution{Factor: f.Name, Outcome: out, Explains: out == Success}
+		if att.Explains {
+			anyExplains = true
+		}
+		diag.Attributions = append(diag.Attributions, att)
+	}
+	diag.Residual = !anyExplains
+	return diag
+}
+
+// DiagnoseCampaign sweeps a strategy over the population, diagnoses
+// every failure, and aggregates how often each factor explains one —
+// "quantify the impact of each" (§3.4).
+func (r *Runner) DiagnoseCampaign(strategyName string, vps []VantagePoint, servers []Server, trials int) map[string]int {
+	counts := map[string]int{}
+	factory := core.BuiltinFactories()[strategyName]
+	for _, vp := range vps {
+		for _, srv := range servers {
+			for trial := 0; trial < trials; trial++ {
+				if r.RunOne(vp, srv, factory, true, trial) == Success {
+					continue
+				}
+				counts["failures"]++
+				diag := r.Diagnose(vp, srv, strategyName, trial)
+				for _, att := range diag.Attributions {
+					if att.Explains {
+						counts[att.Factor]++
+					}
+				}
+				if diag.Residual {
+					counts["residual"]++
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// FormatDiagnosis renders a campaign's factor attribution.
+func FormatDiagnosis(strategy string, counts map[string]int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "failure attribution for %s (%d failures):\n", strategy, counts["failures"])
+	for _, f := range Factors() {
+		if n := counts[f.Name]; n > 0 {
+			fmt.Fprintf(&b, "  %-28s explains %d\n", f.Name, n)
+		}
+	}
+	if n := counts["residual"]; n > 0 {
+		fmt.Fprintf(&b, "  %-28s %d (interactions / inherent)\n", "no single factor", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+
+	"intango/internal/core"
+)
+
+// trialJob is one independent simulation to run.
+type trialJob struct {
+	vp        VantagePoint
+	srv       Server
+	factory   core.Factory
+	sensitive bool
+	trial     int
+	// sink receives the outcome; index identifies the tally.
+	sink int
+}
+
+// RunParallel executes a batch of trials across all CPUs. Each trial is
+// an isolated simulation with a seed derived only from its own
+// parameters, so results are identical to serial execution regardless
+// of scheduling.
+func (r *Runner) RunParallel(jobs []trialJob, tallies []*Tally) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	ch := make(chan trialJob, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range ch {
+				out := r.RunOne(job.vp, job.srv, job.factory, job.sensitive, job.trial)
+				mu.Lock()
+				tallies[job.sink].Add(out)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, job := range jobs {
+		ch <- job
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// RunTable1Parallel is RunTable1 with trials fanned out across CPUs.
+// Results are identical to the serial runner for the same seed.
+func RunTable1Parallel(r *Runner, scale Scale) []Table1Row {
+	vps := VantagePoints()[:min(scale.VPs, 11)]
+	servers := Servers(scale.Servers, r.Cal, r.Seed)
+	factories := core.BuiltinFactories()
+	specs := table1Strategies()
+	rows := make([]Table1Row, len(specs))
+	tallies := make([]*Tally, 2*len(specs))
+	var jobs []trialJob
+	for i, spec := range specs {
+		rows[i] = Table1Row{Strategy: spec.group, Discrepancy: spec.disc}
+		tallies[2*i] = &rows[i].Sensitive
+		tallies[2*i+1] = &rows[i].Clean
+		factory := factories[spec.factory]
+		for _, vp := range vps {
+			for _, srv := range servers {
+				for trial := 0; trial < scale.Trials; trial++ {
+					jobs = append(jobs, trialJob{vp, srv, factory, true, trial, 2 * i})
+					jobs = append(jobs, trialJob{vp, srv, factory, false, trial + scale.Trials, 2*i + 1})
+				}
+			}
+		}
+	}
+	r.RunParallel(jobs, tallies)
+	return rows
+}
+
+// RunTable4Parallel fans the Table 4 strategy rows across CPUs.
+func RunTable4Parallel(r *Runner, vps []VantagePoint, servers []Server, trials int) []Table4Row {
+	factories := core.BuiltinFactories()
+	specs := table4Strategies()
+	perVP := make([][]Tally, len(specs))
+	var jobs []trialJob
+	var tallies []*Tally
+	for si, spec := range specs {
+		perVP[si] = make([]Tally, len(vps))
+		factory := factories[spec.factory]
+		for vi, vp := range vps {
+			sink := len(tallies)
+			tallies = append(tallies, &perVP[si][vi])
+			for _, srv := range servers {
+				for trial := 0; trial < trials; trial++ {
+					jobs = append(jobs, trialJob{vp, srv, factory, true, trial, sink})
+				}
+			}
+		}
+	}
+	r.RunParallel(jobs, tallies)
+	rows := make([]Table4Row, len(specs))
+	for si, spec := range specs {
+		rows[si] = summarizeVPs(spec.label, perVP[si])
+	}
+	return rows
+}

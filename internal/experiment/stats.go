@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+)
+
+// WilsonInterval returns the 95% Wilson score interval for k successes
+// in n trials — the right interval for proportions near 0 or 1, which
+// is where most of these tables live.
+func WilsonInterval(k, n int) (lo, hi float64) {
+	if n == 0 {
+		return 0, 0
+	}
+	const z = 1.959963984540054 // 97.5th percentile of the normal
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	margin := z / denom * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	lo = center - margin
+	hi = center + margin
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// SuccessCI renders the tally's success rate with its 95% interval, in
+// percent: "93.2% [91.0, 95.0]".
+func (t Tally) SuccessCI() string {
+	lo, hi := WilsonInterval(t.Success, t.Total)
+	s, _, _ := t.Rates()
+	return fmt.Sprintf("%.1f%% [%.1f, %.1f]", s, 100*lo, 100*hi)
+}
+
+// Merge combines two tallies.
+func (t *Tally) Merge(other Tally) {
+	t.Success += other.Success
+	t.Failure1 += other.Failure1
+	t.Failure2 += other.Failure2
+	t.Total += other.Total
+}

@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"intango/internal/core"
+	"intango/internal/middlebox"
+	"intango/internal/packet"
+)
+
+// OutsideVantagePoints returns the §7 outside-China clients (Amazon
+// EC2 in US, UK, Germany, Japan): no interfering client-side
+// middleboxes, Tor-irrelevant.
+func OutsideVantagePoints() []VantagePoint {
+	mk := func(i int, name string) VantagePoint {
+		return VantagePoint{
+			Name:    "ec2-" + name,
+			City:    name,
+			ISP:     "ec2",
+			Profile: middlebox.ProfileName(""),
+			Addr:    packet.AddrFrom4(10, 100, byte(i), 1),
+		}
+	}
+	return []VantagePoint{mk(1, "us"), mk(2, "uk"), mk(3, "de"), mk(4, "jp")}
+}
+
+// Table4Row is one strategy's per-vantage-point Min/Max/Avg triple for
+// each outcome, as the paper reports it.
+type Table4Row struct {
+	Strategy string
+	// Per-outcome [min, max, avg] percentages across vantage points.
+	Success, Failure1, Failure2 [3]float64
+}
+
+// table4Strategies lists the §7.1 strategy rows.
+func table4Strategies() []struct{ label, factory string } {
+	return []struct{ label, factory string }{
+		{"Improved TCB Teardown", "improved-teardown"},
+		{"Improved In-order Data Overlapping", "improved-prefill"},
+		{"TCB Creation + Resync/Desync", "creation-resync-desync"},
+		{"TCB Teardown + TCB Reversal", "teardown-reversal"},
+	}
+}
+
+// RunTable4 reproduces the strategy rows of Table 4 over the given
+// vantage points and servers (use VantagePoints()+Servers for the
+// inside-China block, OutsideVantagePoints()+OutsideServers for the
+// outside block).
+func RunTable4(r *Runner, vps []VantagePoint, servers []Server, trials int) []Table4Row {
+	factories := core.BuiltinFactories()
+	var rows []Table4Row
+	for _, spec := range table4Strategies() {
+		factory := factories[spec.factory]
+		perVP := make([]Tally, len(vps))
+		for vi, vp := range vps {
+			for _, srv := range servers {
+				for trial := 0; trial < trials; trial++ {
+					perVP[vi].Add(r.RunOne(vp, srv, factory, true, trial))
+				}
+			}
+		}
+		rows = append(rows, summarizeVPs(spec.label, perVP))
+	}
+	return rows
+}
+
+// RunTable4INTANG reproduces the "INTANG Performance" row: a
+// persistent, learning INTANG instance per pair.
+func RunTable4INTANG(r *Runner, vps []VantagePoint, servers []Server, trials int) Table4Row {
+	perVP := make([]Tally, len(vps))
+	for vi, vp := range vps {
+		for _, srv := range servers {
+			for _, out := range r.RunINTANGSeries(vp, srv, trials) {
+				perVP[vi].Add(out)
+			}
+		}
+	}
+	return summarizeVPs("INTANG Performance", perVP)
+}
+
+func summarizeVPs(label string, perVP []Tally) Table4Row {
+	row := Table4Row{Strategy: label}
+	var sMin, sMax, sSum = 101.0, -1.0, 0.0
+	var f1Min, f1Max, f1Sum = 101.0, -1.0, 0.0
+	var f2Min, f2Max, f2Sum = 101.0, -1.0, 0.0
+	n := 0
+	for _, tally := range perVP {
+		if tally.Total == 0 {
+			continue
+		}
+		n++
+		s, f1, f2 := tally.Rates()
+		sMin, sMax, sSum = minF(sMin, s), maxF(sMax, s), sSum+s
+		f1Min, f1Max, f1Sum = minF(f1Min, f1), maxF(f1Max, f1), f1Sum+f1
+		f2Min, f2Max, f2Sum = minF(f2Min, f2), maxF(f2Max, f2), f2Sum+f2
+	}
+	if n == 0 {
+		return row
+	}
+	row.Success = [3]float64{sMin, sMax, sSum / float64(n)}
+	row.Failure1 = [3]float64{f1Min, f1Max, f1Sum / float64(n)}
+	row.Failure2 = [3]float64{f2Min, f2Max, f2Sum / float64(n)}
+	return row
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FormatTable4 renders one block (inside or outside China).
+func FormatTable4(block string, rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", block)
+	fmt.Fprintf(&b, "%-36s | %-20s | %-20s | %-20s\n", "Strategy", "Success min/max/avg", "Fail1 min/max/avg", "Fail2 min/max/avg")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-36s | %5.1f %5.1f %5.1f    | %5.1f %5.1f %5.1f    | %5.1f %5.1f %5.1f\n",
+			row.Strategy,
+			row.Success[0], row.Success[1], row.Success[2],
+			row.Failure1[0], row.Failure1[1], row.Failure1[2],
+			row.Failure2[0], row.Failure2[1], row.Failure2[2])
+	}
+	return b.String()
+}

@@ -1,0 +1,271 @@
+package experiment
+
+import (
+	"bytes"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"intango/internal/appsim"
+	"intango/internal/core"
+	"intango/internal/gfw"
+	"intango/internal/intang"
+	"intango/internal/middlebox"
+	"intango/internal/netem"
+	"intango/internal/packet"
+	"intango/internal/tcpstack"
+)
+
+// Outcome is the §3.4 trial classification.
+type Outcome int
+
+// The three outcomes of Table 1's notation.
+const (
+	// Success: HTTP response received and no resets from the GFW.
+	Success Outcome = iota
+	// Failure1: no response and no GFW resets (middlebox/server/path
+	// side effects).
+	Failure1
+	// Failure2: reset packets from the GFW (type-1 or type-2).
+	Failure2
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Success:
+		return "success"
+	case Failure1:
+		return "failure-1"
+	default:
+		return "failure-2"
+	}
+}
+
+// Runner executes trials over the calibrated population.
+type Runner struct {
+	Cal  Calibration
+	Seed int64
+	// HardenGFW, when set, applies §8 countermeasures to every device
+	// the runner builds (the ablation harness sets it).
+	HardenGFW func(cfg *gfw.Config)
+}
+
+// NewRunner builds a runner with the default calibration.
+func NewRunner(seed int64) *Runner {
+	return &Runner{Cal: DefaultCalibration(), Seed: seed}
+}
+
+// pairSeed derives the stable per-(vantage point, server) seed that
+// pins device behaviour across trials.
+func (r *Runner) pairSeed(vp VantagePoint, srv Server) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(vp.Name))
+	h.Write([]byte{0})
+	h.Write([]byte(srv.Name))
+	return r.Seed ^ int64(h.Sum64())
+}
+
+// rig is one constructed trial topology.
+type rig struct {
+	sim     *netem.Simulator
+	path    *netem.Path
+	devices []*gfw.Device
+	cli     *tcpstack.Stack
+	srv     *tcpstack.Stack
+	engine  *core.Engine
+}
+
+// build assembles the (vp, server) path for one trial.
+func (r *Runner) build(vp VantagePoint, srv Server, trialSeed int64) *rig {
+	rg := &rig{sim: netem.NewSimulator(trialSeed)}
+	trialRng := rg.sim.Rand()
+	pairRng := rand.New(rand.NewSource(r.pairSeed(vp, srv)))
+
+	// Route dynamics: the path this trial may be ±2 hops off the
+	// measured count (§3.4).
+	hops := srv.Hops
+	if trialRng.Float64() < srv.RouteDynamicsProb {
+		if trialRng.Intn(2) == 0 {
+			hops -= 2
+		} else {
+			hops += 2
+		}
+	}
+
+	rg.path = &netem.Path{Sim: rg.sim}
+	for i := 0; i < hops; i++ {
+		rg.path.Hops = append(rg.path.Hops, &netem.Hop{Name: "r", Router: true, Latency: time.Millisecond})
+	}
+	rg.path.ClientLink.Latency = time.Millisecond
+	rg.path.ClientLink.LossRate = srv.LossRate
+
+	// Client-side middleboxes on the first hop.
+	if chain := middlebox.BuildProfile(vp.Profile, trialRng); chain != nil {
+		rg.path.Hops[0].Processors = append(rg.path.Hops[0].Processors, chain...)
+	}
+
+	// GFW devices at the tap hop, behaviours pinned per pair.
+	gfwHop := srv.GFWHop
+	if gfwHop >= hops {
+		gfwHop = hops - 1
+	}
+	attach := func(model gfw.Model, name string) {
+		cfg := gfwConfig(model, r.Cal)
+		cfg.TorFiltering = vp.TorFiltered
+		if r.HardenGFW != nil {
+			r.HardenGFW(&cfg)
+		}
+		dev := gfw.NewDevice(name, cfg, trialRng)
+		dev.SetRSTResyncs(pairRng.Float64() < r.Cal.ResyncOnRSTProb)
+		dev.SetSegmentLastWins(pairRng.Float64() < r.Cal.SegmentLastWinsProb)
+		dev.SetClientSide(func(a packet.Addr) bool { return a[0] == 10 })
+		rg.path.Hops[gfwHop].Taps = append(rg.path.Hops[gfwHop].Taps, dev)
+		rg.path.Hops[gfwHop].Processors = append(rg.path.Hops[gfwHop].Processors, dev.IPFilter())
+		rg.devices = append(rg.devices, dev)
+	}
+	switch srv.Mix {
+	case OldOnly:
+		attach(gfw.ModelKhattak2013, "gfw-old")
+	case BothModels:
+		attach(gfw.ModelKhattak2013, "gfw-old")
+		attach(gfw.ModelEvolved2017, "gfw-new")
+	default:
+		attach(gfw.ModelEvolved2017, "gfw-new")
+	}
+
+	// Server-side middleboxes sit just before the server (§3.4); δ=2
+	// TTL crafting is what keeps insertion packets short of them.
+	if srv.ServerSideFirewall && hops >= 3 {
+		fw := middlebox.NewStatefulFirewall("server-side-fw", false)
+		rg.path.Hops[hops-2].Processors = append(rg.path.Hops[hops-2].Processors, fw)
+	}
+
+	rg.cli = tcpstack.NewStack(vp.Addr, tcpstack.Linux44(), rg.sim)
+	rg.srv = tcpstack.NewStack(srv.Addr, srv.Stack, rg.sim)
+	rg.srv.AttachServer(rg.path)
+	appsim.ServeHTTP(rg.srv, 80)
+	return rg
+}
+
+// insertionTTL computes the crafting TTL from the measured hop count:
+// (hops+1) - δ, i.e. one short of the last router (§7.1, δ=2).
+func insertionTTL(srv Server) uint8 {
+	ttl := srv.Hops - 1
+	if ttl < 1 {
+		ttl = 1
+	}
+	return uint8(ttl)
+}
+
+// classify applies the §3.4 notation.
+func classify(rg *rig, conn *tcpstack.Conn, sensitive bool) Outcome {
+	injected := false
+	for _, dev := range rg.devices {
+		if dev.Stats["inject-type1"]+dev.Stats["inject-type2"]+dev.Stats["block-enforce"]+dev.Stats["forged-synack"] > 0 {
+			injected = true
+		}
+	}
+	responded := appsim.HTTPResponseComplete(conn.Received())
+	switch {
+	case responded && !(conn.GotRST && injected):
+		return Success
+	case conn.GotRST && injected:
+		return Failure2
+	default:
+		return Failure1
+	}
+}
+
+// RunOne executes a single strategy trial and classifies it.
+func (r *Runner) RunOne(vp VantagePoint, srv Server, factory core.Factory, sensitive bool, trial int) Outcome {
+	trialSeed := r.pairSeed(vp, srv) ^ int64(uint64(trial)*0x9e3779b97f4a7c15)
+	rg := r.build(vp, srv, trialSeed)
+	env := core.DefaultEnv(insertionTTL(srv), rg.sim.Rand())
+	rg.engine = core.NewEngine(rg.sim, rg.path, rg.cli, env)
+	if factory != nil {
+		rg.engine.NewStrategy = func(packet.FourTuple) core.Strategy { return factory() }
+	}
+	conn := fetch(rg, srv, sensitive)
+	return classify(rg, conn, sensitive)
+}
+
+// fetch performs one HTTP GET (optionally with the sensitive keyword)
+// and advances the simulation long enough to settle.
+func fetch(rg *rig, srv Server, sensitive bool) *tcpstack.Conn {
+	conn := rg.cli.Connect(srv.Addr, 80)
+	rg.sim.RunFor(500 * time.Millisecond)
+	uri := "/index.html"
+	if sensitive {
+		uri = "/search?q=" + Keyword
+	}
+	if conn.State() == tcpstack.Established {
+		conn.Write(appsim.HTTPRequest(srv.Name, uri))
+	}
+	rg.sim.RunFor(8 * time.Second)
+	return conn
+}
+
+// RunINTANGSeries runs a sequence of sensitive fetches for one pair
+// inside a single simulation, with a persistent INTANG instance whose
+// cache learns across trials (the Table 4 "INTANG Performance" row).
+// Between trials it waits out any active blocklist period, as the
+// paper's methodology did (§3.3).
+func (r *Runner) RunINTANGSeries(vp VantagePoint, srv Server, trials int) []Outcome {
+	rg := r.build(vp, srv, r.pairSeed(vp, srv))
+	it := intang.New(rg.sim, rg.path, rg.cli, intang.Options{})
+	it.Engine.Env.InsertionTTL = insertionTTL(srv)
+	outcomes := make([]Outcome, 0, trials)
+	for i := 0; i < trials; i++ {
+		for _, dev := range rg.devices {
+			for k := range dev.Stats {
+				delete(dev.Stats, k)
+			}
+		}
+		conn := fetch(rg, srv, true)
+		out := classify(rg, conn, true)
+		outcomes = append(outcomes, out)
+		if out == Failure2 {
+			rg.sim.RunFor(95 * time.Second) // wait out the 90 s block
+		} else {
+			rg.sim.RunFor(2 * time.Second)
+		}
+	}
+	return outcomes
+}
+
+// Tally aggregates outcomes into Success/Failure-1/Failure-2 counts.
+type Tally struct {
+	Success, Failure1, Failure2, Total int
+}
+
+// Add counts one outcome.
+func (t *Tally) Add(o Outcome) {
+	t.Total++
+	switch o {
+	case Success:
+		t.Success++
+	case Failure1:
+		t.Failure1++
+	default:
+		t.Failure2++
+	}
+}
+
+// Rates returns the percentages (0-100).
+func (t Tally) Rates() (s, f1, f2 float64) {
+	if t.Total == 0 {
+		return 0, 0, 0
+	}
+	n := float64(t.Total)
+	return 100 * float64(t.Success) / n, 100 * float64(t.Failure1) / n, 100 * float64(t.Failure2) / n
+}
+
+// responseBytes is a test helper confirming the server actually spoke
+// HTTP.
+func responseBytes(conn *tcpstack.Conn) []byte {
+	if idx := bytes.Index(conn.Received(), []byte("\r\n\r\n")); idx >= 0 {
+		return conn.Received()[:idx]
+	}
+	return conn.Received()
+}

@@ -1,0 +1,428 @@
+package gfw
+
+import (
+	"math/rand"
+	"time"
+
+	"intango/internal/dpi"
+	"intango/internal/netem"
+	"intango/internal/packet"
+)
+
+// Event is one observable state transition inside a device; tests and
+// the probing tool subscribe to them.
+type Event struct {
+	Kind   string
+	Tuple  packet.FourTuple
+	Detail string
+}
+
+// Device is one GFW DPI instance wiretapping a hop.
+type Device struct {
+	name string
+	cfg  Config
+	rng  *rand.Rand
+
+	matcher *dpi.Matcher
+	tcbs    map[packet.FourTuple]*tcb
+	frag    *packet.Reassembler
+
+	// pairBlock maps a canonical (client,server) address pair to the
+	// virtual time its 90-second block expires.
+	pairBlock map[[2]packet.Addr]time.Duration
+	ipBlock   map[packet.Addr]bool
+
+	// Per-device sampled behaviours (§4: consistent per pair within a
+	// period, inconsistent across periods/devices).
+	rstResyncs  bool
+	segLastWins bool
+
+	// clientSide identifies which addresses live on the client end of
+	// the device's path, to aim injected packets.
+	clientSide clientSideFunc
+
+	// probes tracks in-flight active-prober connections (§7.3).
+	probes    map[packet.FourTuple]*probeState
+	proberSeq int
+
+	// type-2 injector counters: cyclically increasing TTL and window.
+	t2TTL uint8
+	t2Win uint16
+
+	// OnEvent, when set, observes device events.
+	OnEvent func(Event)
+	// Stats counts events by kind.
+	Stats map[string]int
+}
+
+// NewDevice builds a device named name. The rng drives all sampled
+// behaviour and must be the simulation's PRNG (or a derived one) for
+// deterministic runs.
+func NewDevice(name string, cfg Config, rng *rand.Rand) *Device {
+	cfg = cfg.withDefaults()
+	d := &Device{
+		name:      name,
+		cfg:       cfg,
+		rng:       rng,
+		matcher:   dpi.NewMatcher(cfg.Keywords),
+		tcbs:      make(map[packet.FourTuple]*tcb),
+		frag:      packet.NewReassembler(packet.FirstWins),
+		pairBlock: make(map[[2]packet.Addr]time.Duration),
+		ipBlock:   make(map[packet.Addr]bool),
+		Stats:     make(map[string]int),
+		t2TTL:     64,
+		t2Win:     8192,
+	}
+	d.rstResyncs = rng.Float64() < cfg.ResyncOnRSTProb
+	// Khattak et al. measured the old model preferring the later copy
+	// of overlapping out-of-order segments unconditionally; only the
+	// evolved deployment is heterogeneous (Config.SegmentLastWinsProb).
+	d.segLastWins = cfg.Model == ModelKhattak2013 || rng.Float64() < cfg.SegmentLastWinsProb
+	return d
+}
+
+// Name implements netem.Processor.
+func (d *Device) Name() string { return d.name }
+
+// Config returns the device's effective configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// RSTResyncs reports the device's sampled RST behaviour: true means
+// RSTs send TCBs to the resynchronization state instead of tearing
+// them down (Hypothesized New Behavior 3).
+func (d *Device) RSTResyncs() bool { return d.rstResyncs }
+
+// SetRSTResyncs pins the sampled RST behaviour. The experiment harness
+// uses it to keep a device's behaviour stable across trials for a
+// client/server pair, which is what the paper observed (§4: consistent
+// during a period, inconsistent across periods).
+func (d *Device) SetRSTResyncs(v bool) { d.rstResyncs = v }
+
+// SetSegmentLastWins pins the sampled segment-overlap behaviour (see
+// Config.SegmentLastWinsProb).
+func (d *Device) SetSegmentLastWins(v bool) { d.segLastWins = v }
+
+func (d *Device) event(kind string, tuple packet.FourTuple, detail string) {
+	d.Stats[kind]++
+	if d.OnEvent != nil {
+		d.OnEvent(Event{Kind: kind, Tuple: tuple, Detail: detail})
+	}
+}
+
+// Process implements netem.Processor as an on-path tap: it always
+// passes and never mutates pkt.
+func (d *Device) Process(ctx *netem.Context, pkt *packet.Packet, dir netem.Direction) netem.Verdict {
+	switch {
+	case pkt.UDP != nil:
+		d.processUDP(ctx, pkt)
+	case pkt.TCP != nil || pkt.IP.IsFragment():
+		d.processTCPDatagram(ctx, pkt)
+	}
+	return netem.Pass
+}
+
+// processTCPDatagram handles fragment reassembly before TCP tracking.
+func (d *Device) processTCPDatagram(ctx *netem.Context, pkt *packet.Packet) {
+	if pkt.IP.IsFragment() {
+		// The GFW reassembles IP fragments itself, preferring the first
+		// copy of overlapping fragment data (§3.2).
+		whole, err := d.frag.Add(pkt.Clone())
+		if err != nil || whole == nil {
+			return
+		}
+		pkt = whole
+	}
+	if pkt.TCP == nil {
+		return
+	}
+	d.processTCP(ctx, pkt)
+}
+
+func (d *Device) processTCP(ctx *netem.Context, pkt *packet.Packet) {
+	// Active-probe traffic is the censor's own; it is steered to the
+	// prober state machine, never to flow tracking.
+	if d.proberPacket(ctx, pkt) {
+		return
+	}
+
+	// §8 countermeasure ablations: a hardened device validates fields
+	// the measured GFW does not.
+	if d.cfg.ValidateTCPChecksum && !pkt.TCP.VerifyChecksum(pkt.IP.Src, pkt.IP.Dst, pkt.Payload) {
+		d.event("harden-drop-checksum", pkt.Tuple(), "")
+		return
+	}
+	if d.cfg.ValidateMD5 && pkt.TCP.HasMD5() {
+		d.event("harden-drop-md5", pkt.Tuple(), "")
+		return
+	}
+
+	tuple := pkt.Tuple()
+	key := tuple.Canonical()
+
+	if d.enforceBlocklist(ctx, pkt) {
+		return
+	}
+
+	t := d.tcbs[key]
+	tcp := pkt.TCP
+	if t == nil {
+		d.maybeCreateTCB(ctx, key, pkt)
+		return
+	}
+
+	if t.fromClient(pkt) {
+		d.fromClientSide(ctx, key, t, pkt)
+	} else {
+		d.fromServerSide(ctx, key, t, pkt)
+	}
+	_ = tcp
+}
+
+// maybeCreateTCB applies Hypothesized New Behavior 1: a TCB is created
+// on SYN (both models) or on SYN/ACK (evolved model only), the latter
+// with reversed orientation.
+func (d *Device) maybeCreateTCB(ctx *netem.Context, key packet.FourTuple, pkt *packet.Packet) {
+	tcp := pkt.TCP
+	switch {
+	case tcp.HasFlag(packet.FlagSYN) && !tcp.HasFlag(packet.FlagACK):
+		t := &tcb{
+			client: pkt.IP.Src, cport: tcp.SrcPort,
+			server: pkt.IP.Dst, sport: tcp.DstPort,
+			clientISN: tcp.Seq, haveISN: true,
+			clientNext: tcp.Seq.Add(1), haveClient: true,
+			synCount: 1,
+			lastWins: d.segLastWins,
+		}
+		t.stream = newStream(d.cfg.ReassemblyWindow, d.matcher.NewStreamScanner())
+		t.stream.rebase(t.clientNext)
+		d.tcbs[key] = t
+		d.event("tcb-create", key, "syn")
+	case tcp.HasFlag(packet.FlagSYN) && tcp.HasFlag(packet.FlagACK) && d.cfg.Model == ModelEvolved2017:
+		// The GFW assumes a SYN/ACK's source is the server (§5.2).
+		t := &tcb{
+			client: pkt.IP.Dst, cport: tcp.DstPort,
+			server: pkt.IP.Src, sport: tcp.SrcPort,
+			clientNext: tcp.Ack, haveClient: true,
+			serverNext: tcp.Seq.Add(1), haveServer: true,
+			synAckCount: 1,
+			lastWins:    d.segLastWins,
+		}
+		t.stream = newStream(d.cfg.ReassemblyWindow, d.matcher.NewStreamScanner())
+		t.stream.rebase(t.clientNext)
+		d.tcbs[key] = t
+		d.event("tcb-create-reversed", key, "synack")
+	}
+}
+
+// fromClientSide handles packets traveling from the TCB's notion of the
+// client toward its notion of the server.
+func (d *Device) fromClientSide(ctx *netem.Context, key packet.FourTuple, t *tcb, pkt *packet.Packet) {
+	tcp := pkt.TCP
+
+	// The client's acknowledgments reveal the server-side sequence.
+	if tcp.HasFlag(packet.FlagACK) && !tcp.HasFlag(packet.FlagSYN) {
+		if !t.haveServer || tcp.Ack.After(t.serverNext) {
+			t.serverNext = tcp.Ack
+			t.haveServer = true
+		}
+	}
+
+	switch {
+	case tcp.HasFlag(packet.FlagRST):
+		d.handleRST(key, t)
+		return
+	case tcp.HasFlag(packet.FlagSYN) && !tcp.HasFlag(packet.FlagACK):
+		t.synCount++
+		if d.cfg.Model == ModelEvolved2017 && t.synCount >= 2 {
+			d.enterResync(key, t, "multiple-syn")
+		}
+		return
+	case tcp.HasFlag(packet.FlagFIN) && d.cfg.Model == ModelKhattak2013:
+		// The old model tears down on FIN; the evolved model does not
+		// (§4, Prior Assumption 3).
+		d.teardown(key, t, "fin")
+		return
+	}
+
+	if len(pkt.Payload) == 0 {
+		return
+	}
+
+	// §8 hardened mode: trust client data only once the server has
+	// acknowledged it. Buffer here; commits happen when acknowledgments
+	// flow back (fromServerSide).
+	if d.cfg.TrustDataAfterServerACK {
+		if len(t.pending) < maxPendingSegs {
+			t.pending = append(t.pending, pendingSeg{seq: tcp.Seq, pkt: pkt.Clone()})
+		}
+		return
+	}
+
+	d.ingestClientData(ctx, key, t, pkt)
+}
+
+// ingestClientData runs resynchronization, reassembly and detection on
+// one client data segment.
+func (d *Device) ingestClientData(ctx *netem.Context, key packet.FourTuple, t *tcb, pkt *packet.Packet) {
+	tcp := pkt.TCP
+
+	// Hypothesized New Behavior 2: in the resynchronization state the
+	// TCB adopts the sequence number of the next client data packet.
+	if t.state == stResync {
+		t.clientNext = tcp.Seq
+		t.stream.rebase(tcp.Seq)
+		t.state = stTracking
+		d.event("resync-applied", key, "client-data")
+	}
+
+	// A type-1 device scans packets individually, with no reassembly:
+	// it only examines the segment sitting at the expected in-order
+	// position. Data that shadows already-consumed bytes (the prefill
+	// evasion) or arrives out of order is never scanned by it.
+	wasInOrder := t.stream.started && tcp.Seq == t.stream.nextSeq()
+	matches := t.stream.insert(tcp.Seq, pkt.Payload, t.lastWins)
+	t.clientNext = t.stream.nextSeq()
+
+	d.inspect(ctx, key, t, pkt, wasInOrder, matches)
+}
+
+// commitAcknowledged releases buffered client data covered by a server
+// acknowledgment into the detection pipeline (TrustDataAfterServerACK).
+func (d *Device) commitAcknowledged(ctx *netem.Context, key packet.FourTuple, t *tcb, ack packet.Seq) {
+	if len(t.pending) == 0 {
+		return
+	}
+	keep := t.pending[:0]
+	for _, ps := range t.pending {
+		if ps.pkt.EndSeq().AtOrBefore(ack) {
+			d.ingestClientData(ctx, key, t, ps.pkt)
+		} else {
+			keep = append(keep, ps)
+		}
+	}
+	t.pending = keep
+}
+
+// fromServerSide handles packets from the TCB's notion of the server.
+func (d *Device) fromServerSide(ctx *netem.Context, key packet.FourTuple, t *tcb, pkt *packet.Packet) {
+	tcp := pkt.TCP
+
+	switch {
+	case tcp.HasFlag(packet.FlagRST):
+		d.handleRST(key, t)
+		return
+	case tcp.HasFlag(packet.FlagSYN) && tcp.HasFlag(packet.FlagACK):
+		t.synAckCount++
+		if d.cfg.Model == ModelEvolved2017 {
+			if t.state == stResync {
+				// The SYN/ACK resynchronizes the TCB (§4).
+				t.clientNext = tcp.Ack
+				t.serverNext = tcp.Seq.Add(1)
+				t.haveServer = true
+				t.stream.rebase(t.clientNext)
+				t.state = stTracking
+				d.event("resync-applied", key, "synack")
+				return
+			}
+			if t.synAckCount >= 2 {
+				d.enterResync(key, t, "multiple-synack")
+				return
+			}
+			if t.haveISN && tcp.Ack != t.clientISN.Add(1) {
+				d.enterResync(key, t, "synack-ack-mismatch")
+				return
+			}
+		}
+		// First consistent SYN/ACK: adopt the server's numbering. Only
+		// the evolved model also re-confirms the client-side sequence
+		// from the SYN/ACK's ack (§5.2) — the old model keeps whatever
+		// the first SYN said, which is precisely why the 2013 fake-SYN
+		// evasion worked against it.
+		t.serverNext = tcp.Seq.Add(1)
+		t.haveServer = true
+		if d.cfg.Model == ModelEvolved2017 {
+			t.clientNext = tcp.Ack
+			if !t.stream.started || t.stream.base != tcp.Ack {
+				t.stream.rebase(tcp.Ack)
+			}
+		}
+		return
+	case tcp.HasFlag(packet.FlagFIN) && d.cfg.Model == ModelKhattak2013:
+		d.teardown(key, t, "fin-server")
+		return
+	}
+
+	if n := len(pkt.Payload); n > 0 {
+		end := tcp.Seq.Add(n)
+		if !t.haveServer || end.After(t.serverNext) {
+			t.serverNext = end
+			t.haveServer = true
+		}
+		// Response censorship (where still deployed, §3.3): scan the
+		// server→client stream too — this is what catches sensitive
+		// keywords copied into HTTP 301 Location headers.
+		if d.cfg.ResponseCensorship && !t.immune && !t.detected {
+			if t.respStream == nil {
+				t.respStream = newStream(d.cfg.ReassemblyWindow, d.matcher.NewStreamScanner())
+				t.respStream.rebase(tcp.Seq)
+			}
+			if matches := t.respStream.insert(tcp.Seq, pkt.Payload, false); len(matches) > 0 {
+				t.detected = true
+				d.event("detect-response", key, "")
+				d.injectResets(ctx, t, d.cfg.Type1, d.cfg.Type2)
+				if d.cfg.Type2 {
+					d.blockPair(ctx, t.client, t.server)
+				}
+			}
+		}
+	}
+
+	// Hardened mode: server acknowledgments release buffered client
+	// data into the detection pipeline.
+	if d.cfg.TrustDataAfterServerACK && tcp.HasFlag(packet.FlagACK) {
+		d.commitAcknowledged(ctx, key, t, tcp.Ack)
+	}
+}
+
+// handleRST applies Hypothesized New Behavior 3.
+func (d *Device) handleRST(key packet.FourTuple, t *tcb) {
+	if d.cfg.Model == ModelEvolved2017 && d.rstResyncs {
+		d.enterResync(key, t, "rst")
+		return
+	}
+	d.teardown(key, t, "rst")
+}
+
+func (d *Device) enterResync(key packet.FourTuple, t *tcb, why string) {
+	if t.state != stResync {
+		t.state = stResync
+		d.event("resync", key, why)
+	}
+}
+
+func (d *Device) teardown(key packet.FourTuple, t *tcb, why string) {
+	delete(d.tcbs, key)
+	d.event("teardown", key, why)
+}
+
+// TCBState reports the shadow state for a connection, for probing tools
+// and tests.
+func (d *Device) TCBState(tuple packet.FourTuple) (string, bool) {
+	t, ok := d.tcbs[tuple.Canonical()]
+	if !ok {
+		return "", false
+	}
+	return t.state.String(), true
+}
+
+// TCBOrientation reports who the device believes the client is.
+func (d *Device) TCBOrientation(tuple packet.FourTuple) (client packet.Addr, ok bool) {
+	t, found := d.tcbs[tuple.Canonical()]
+	if !found {
+		return packet.Addr{}, false
+	}
+	return t.client, true
+}
+
+// TCBCount returns the number of live shadow connections.
+func (d *Device) TCBCount() int { return len(d.tcbs) }

@@ -1,0 +1,40 @@
+package gfw
+
+import (
+	"intango/internal/netem"
+	"intango/internal/packet"
+)
+
+// clientSideFunc tells the device which addresses live on the client
+// end of its path.
+type clientSideFunc func(addr packet.Addr) bool
+
+// SetClientSide registers the predicate identifying client-end
+// addresses, used to aim injected packets. The experiment topology
+// calls this when attaching the device to a path.
+func (d *Device) SetClientSide(f func(addr packet.Addr) bool) { d.clientSide = f }
+
+// IsIPBlocked reports whether addr has been null-routed (Tor active
+// probing aftermath, §7.3).
+func (d *Device) IsIPBlocked(addr packet.Addr) bool { return d.ipBlock[addr] }
+
+// BlockIP null-routes addr immediately (test/probe helper).
+func (d *Device) BlockIP(addr packet.Addr) { d.ipBlock[addr] = true }
+
+// IPFilter returns the in-path companion processor that enforces the
+// device's IP blocklist. Unlike the wiretap, it can drop packets: IP
+// blocking is implemented in the routing layer, not the DPI tap.
+func (d *Device) IPFilter() netem.Processor {
+	return &ipFilter{d: d}
+}
+
+type ipFilter struct{ d *Device }
+
+func (f *ipFilter) Name() string { return f.d.name + "-ipfilter" }
+
+func (f *ipFilter) Process(ctx *netem.Context, pkt *packet.Packet, dir netem.Direction) netem.Verdict {
+	if f.d.ipBlock[pkt.IP.Src] || f.d.ipBlock[pkt.IP.Dst] {
+		return netem.Drop
+	}
+	return netem.Pass
+}

@@ -1,0 +1,170 @@
+package gfw
+
+import (
+	"intango/internal/dpi"
+	"intango/internal/packet"
+)
+
+// tcbState is the GFW's shadow-connection state.
+type tcbState int
+
+const (
+	// stTracking: the TCB is synchronized and reassembling.
+	stTracking tcbState = iota
+	// stResync: the re-synchronization state of Hypothesized New
+	// Behavior 2 — the TCB adopts the sequence numbering of the next
+	// client data packet or server SYN/ACK.
+	stResync
+)
+
+func (s tcbState) String() string {
+	if s == stResync {
+		return "RESYNC"
+	}
+	return "TRACKING"
+}
+
+// tcb is one shadow connection. Orientation (who the GFW believes is
+// the client) is fixed at creation — by the SYN's source, or, for a TCB
+// created by a SYN/ACK, by the SYN/ACK's destination. TCB Reversal
+// (§5.2) exploits exactly this.
+type tcb struct {
+	client, server packet.Addr
+	cport, sport   uint16
+
+	state tcbState
+
+	clientISN  packet.Seq
+	haveISN    bool
+	clientNext packet.Seq // next expected client-side byte
+	haveClient bool
+
+	serverNext packet.Seq // best estimate of the server-side sequence
+	haveServer bool
+
+	synCount    int
+	synAckCount int
+
+	stream *stream
+
+	classified dpi.Protocol
+	torHandled bool
+
+	// immune: the detection engine sampled an overload miss for this
+	// flow; it will not be re-examined (§3.4's no-strategy successes).
+	immune   bool
+	detected bool
+
+	// lastWins is the device's sampled segment-overlap behaviour.
+	lastWins bool
+
+	// pending buffers client data awaiting a server acknowledgment
+	// when the §8 TrustDataAfterServerACK hardening is on.
+	pending []pendingSeg
+
+	// respStream reassembles server→client data when response
+	// censorship is enabled (lazy).
+	respStream *stream
+}
+
+// pendingSeg is one buffered client segment (hardened mode).
+type pendingSeg struct {
+	seq packet.Seq
+	pkt *packet.Packet
+}
+
+// maxPendingSegs bounds the hardened-mode buffer; the paper's point is
+// precisely that this state is expensive for the censor.
+const maxPendingSegs = 64
+
+// fromClient reports whether pkt travels from the TCB's notion of the
+// client toward its notion of the server.
+func (t *tcb) fromClient(pkt *packet.Packet) bool {
+	return pkt.IP.Src == t.client && pkt.TCP.SrcPort == t.cport
+}
+
+// stream reassembles the client→server byte stream for the detection
+// engine. Bytes that have been scanned are immutable (the DPI engine
+// consumed them); unscanned out-of-order bytes are resolved by the
+// device's overlap policy.
+type stream struct {
+	base    packet.Seq // sequence number of buf[0]
+	started bool
+	buf     []byte
+	cover   []bool
+	scanned int // contiguous prefix already fed to the scanner
+	window  int
+	scanner *dpi.StreamScanner
+}
+
+func newStream(window int, scanner *dpi.StreamScanner) *stream {
+	return &stream{window: window, scanner: scanner}
+}
+
+// rebase resets the stream to a new base sequence (TCB creation or
+// resynchronization). Already-scanned bytes are discarded; the scanner
+// keeps its automaton state so keywords spanning a resync boundary are
+// still only found if genuinely contiguous — matching a DPI engine that
+// processes the stream as it goes.
+func (s *stream) rebase(seq packet.Seq) {
+	s.base = seq
+	s.started = true
+	s.buf = s.buf[:0]
+	s.cover = s.cover[:0]
+	s.scanned = 0
+	s.scanner.Reset()
+}
+
+// accepts reports whether a segment at seq is within the reassembly
+// window relative to the current expectations.
+func (s *stream) accepts(seq packet.Seq, n int) bool {
+	if !s.started {
+		return false
+	}
+	d := seq.Diff(s.base)
+	return d >= 0 && int(d)+n <= s.window
+}
+
+// insert places data at seq, honoring immutability of scanned bytes and
+// the overlap policy for the rest, then returns any newly contiguous
+// bytes as keyword matches from the detection scanner.
+func (s *stream) insert(seq packet.Seq, data []byte, lastWins bool) []dpi.Match {
+	if len(data) == 0 || !s.accepts(seq, len(data)) {
+		return nil
+	}
+	off := int(seq.Diff(s.base))
+	end := off + len(data)
+	for end > len(s.buf) {
+		s.buf = append(s.buf, 0)
+		s.cover = append(s.cover, false)
+	}
+	for i, b := range data {
+		at := off + i
+		if at < s.scanned {
+			continue // already consumed by the engine: first copy wins
+		}
+		if s.cover[at] && !lastWins {
+			continue
+		}
+		s.buf[at] = b
+		s.cover[at] = true
+	}
+	// Feed any newly contiguous prefix to the scanner.
+	newEnd := s.scanned
+	for newEnd < len(s.cover) && s.cover[newEnd] {
+		newEnd++
+	}
+	if newEnd == s.scanned {
+		return nil
+	}
+	chunk := s.buf[s.scanned:newEnd]
+	s.scanned = newEnd
+	return s.scanner.Feed(chunk)
+}
+
+// contiguous returns the scanned prefix of the stream (used by the
+// protocol classifier).
+func (s *stream) contiguous() []byte { return s.buf[:s.scanned] }
+
+// nextSeq returns the sequence number just past the scanned prefix.
+func (s *stream) nextSeq() packet.Seq { return s.base.Add(s.scanned) }

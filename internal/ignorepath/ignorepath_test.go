@@ -1,0 +1,142 @@
+package ignorepath
+
+import (
+	"strings"
+	"testing"
+
+	"intango/internal/middlebox"
+)
+
+func TestAnalyzeReproducesTable3(t *testing.T) {
+	findings := Analyze()
+	if len(findings) != 11 {
+		t.Fatalf("findings = %d, want 9 Table 3 rows + 2 rejected IP-layer candidates", len(findings))
+	}
+	// The §5.3 rejected IP-layer discrepancies must be proven
+	// unusable: routers discard them before the GFW.
+	for _, f := range findings {
+		if f.Candidate.RouterHostile {
+			if f.GFWAccepts || f.UsableInsertion {
+				t.Errorf("%q should be rejected by the analysis", f.Candidate.Condition)
+			}
+		}
+	}
+	// Every actual Table 3 row must come out as a usable insertion
+	// packet: ignored by Linux 4.4, accepted by the GFW.
+	for _, f := range findings {
+		if f.Candidate.RouterHostile {
+			continue
+		}
+		if !f.ServerIgnores {
+			t.Errorf("%q (%s): server does not ignore: %v",
+				f.Candidate.Condition, f.Candidate.Flags, f.ServerVerdicts["linux-4.4"])
+		}
+		if !f.GFWAccepts {
+			t.Errorf("%q (%s): GFW does not accept: %s",
+				f.Candidate.Condition, f.Candidate.Flags, f.GFWEffect)
+		}
+		if !f.UsableInsertion {
+			t.Errorf("%q (%s): not a usable insertion packet", f.Candidate.Condition, f.Candidate.Flags)
+		}
+	}
+}
+
+func TestRSTACKControlProbe(t *testing.T) {
+	findings := Analyze()
+	var rstack *Finding
+	for i := range findings {
+		if findings[i].Candidate.Flags == "RST+ACK" {
+			rstack = &findings[i]
+		}
+	}
+	if rstack == nil {
+		t.Fatal("no RST+ACK candidate")
+	}
+	// §5.3 finding 1: the GFW accepts it and changes state to
+	// LISTEN (terminated) or RESYNC.
+	if !strings.Contains(rstack.GFWEffect, "RESYNC") && !strings.Contains(rstack.GFWEffect, "torn down") {
+		t.Fatalf("effect = %q", rstack.GFWEffect)
+	}
+}
+
+func TestMiddleboxCrossValidation(t *testing.T) {
+	findings := Analyze()
+	byCondition := func(cond string) Finding {
+		for _, f := range findings {
+			if f.Candidate.Condition == cond {
+				return f
+			}
+		}
+		t.Fatalf("missing %q", cond)
+		return Finding{}
+	}
+	// §5.3: MD5-option insertion packets are never dropped by the
+	// middleboxes encountered.
+	md5 := byCondition("Has unsolicited MD5 Optional Header")
+	for prof, verdict := range md5.Middlebox {
+		if verdict != "pass" {
+			t.Errorf("md5 through %s: %s, want pass", prof, verdict)
+		}
+	}
+	// Same for old timestamps and wrong ACK numbers.
+	for _, cond := range []string{"Timestamps too old"} {
+		f := byCondition(cond)
+		for prof, verdict := range f.Middlebox {
+			if verdict != "pass" {
+				t.Errorf("%s through %s: %s, want pass", cond, prof, verdict)
+			}
+		}
+	}
+	// Wrong checksum and flagless packets are dropped at Unicom
+	// Tianjin (Table 2).
+	ck := byCondition("TCP checksum incorrect")
+	if ck.Middlebox[middlebox.ProfileUnicomTJ] != "dropped" {
+		t.Errorf("bad checksum at unicom-tj: %s", ck.Middlebox[middlebox.ProfileUnicomTJ])
+	}
+	noflag := byCondition("TCP packet with no flag")
+	if noflag.Middlebox[middlebox.ProfileUnicomTJ] != "dropped" {
+		t.Errorf("no-flag at unicom-tj: %s", noflag.Middlebox[middlebox.ProfileUnicomTJ])
+	}
+	if noflag.Middlebox[middlebox.ProfileAliyun] != "pass" {
+		t.Errorf("no-flag at aliyun: %s", noflag.Middlebox[middlebox.ProfileAliyun])
+	}
+}
+
+func TestCrossValidationFindsStackDifferences(t *testing.T) {
+	findings := Analyze()
+	notes := CrossValidation(findings)
+	wantSubstrings := []string{
+		// Linux 2.6.34/2.4.37 accept data without the ACK flag (§5.3).
+		"linux-2.6.34: \"TCP packet with no flag\"",
+		// Linux 2.4.37 has no RFC 2385 support (§5.3).
+		"linux-2.4.37: \"Has unsolicited MD5 Optional Header\"",
+	}
+	joined := strings.Join(notes, "\n")
+	for _, want := range wantSubstrings {
+		if !strings.Contains(joined, want) {
+			t.Errorf("cross-validation missing %q in:\n%s", want, joined)
+		}
+	}
+	// Linux 4.0 must not diverge from 4.4 (§5.3 found no differences).
+	if strings.Contains(joined, "linux-4.0:") {
+		t.Errorf("linux-4.0 should match 4.4:\n%s", joined)
+	}
+}
+
+func TestFormatTable3(t *testing.T) {
+	out := FormatTable3(Analyze())
+	for _, want := range []string{
+		"TCP checksum incorrect",
+		"Has unsolicited MD5 Optional Header",
+		"Timestamps too old",
+		"Wrong acknowledgement number",
+		"TCP packet with only FIN flag",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "Any") {
+		t.Error("header-level rows should apply to any state")
+	}
+}

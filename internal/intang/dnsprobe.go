@@ -1,0 +1,98 @@
+package intang
+
+import (
+	"time"
+
+	"intango/internal/dnsmsg"
+	"intango/internal/netem"
+	"intango/internal/packet"
+	"intango/internal/tcpstack"
+)
+
+// The poisoned-domain prober of §6: INTANG "probed GFW with Alexa's
+// top 1 million domain names to generate a list of poisoned domain
+// names using the same method as in [12]" (Duan et al.'s hold-on
+// heuristic). A plain UDP query is sent for each candidate; the
+// poisoner's forged answer arrives first (the censor is closer than
+// the resolver), so a domain is booked as poisoned when more than one
+// answer arrives — the early forged one plus the genuine one — or when
+// the first answer is a known GFW poison address.
+
+// DomainProbeResult is the verdict for one candidate domain.
+type DomainProbeResult struct {
+	Domain   string
+	Poisoned bool
+	// Answers is every A record received, in arrival order.
+	Answers []packet.Addr
+}
+
+// knownPoisonAddrs are documented GFW forged-answer addresses.
+var knownPoisonAddrs = map[packet.Addr]bool{
+	packet.AddrFrom4(8, 7, 198, 45):    true,
+	packet.AddrFrom4(59, 24, 3, 173):   true,
+	packet.AddrFrom4(203, 98, 7, 65):   true,
+	packet.AddrFrom4(243, 185, 187, 3): true,
+}
+
+// ProbePoisonedDomains runs the hold-on style probe for each candidate
+// against resolver, over the given stack/path/simulator. Each domain
+// gets its own query and a settling window; the simulation is advanced
+// internally.
+func ProbePoisonedDomains(sim *netem.Simulator, stack *tcpstack.Stack, resolver packet.Addr, domains []string) []DomainProbeResult {
+	const clientPort = 5858
+	results := make([]DomainProbeResult, len(domains))
+	var current *DomainProbeResult
+	stack.ListenUDP(clientPort, func(src packet.Addr, srcPort uint16, payload []byte) {
+		if current == nil {
+			return
+		}
+		m, err := dnsmsg.Decode(payload)
+		if err != nil || !m.IsResponse() || len(m.Answers) == 0 {
+			return
+		}
+		current.Answers = append(current.Answers, m.Answers[0].Addr)
+	})
+	for i, domain := range domains {
+		results[i] = DomainProbeResult{Domain: domain}
+		current = &results[i]
+		q, err := dnsmsg.NewQuery(uint16(i+1), domain).Encode()
+		if err != nil {
+			continue
+		}
+		stack.SendUDP(clientPort, resolver, 53, q)
+		sim.RunFor(3 * time.Second) // the hold-on window
+		res := &results[i]
+		switch {
+		case len(res.Answers) == 0:
+			res.Poisoned = false
+		case knownPoisonAddrs[res.Answers[0]]:
+			res.Poisoned = true
+		case len(res.Answers) > 1 && !sameAddrs(res.Answers):
+			// Multiple conflicting answers: the early one was forged.
+			res.Poisoned = true
+		}
+	}
+	current = nil
+	return results
+}
+
+func sameAddrs(addrs []packet.Addr) bool {
+	for _, a := range addrs[1:] {
+		if a != addrs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// PoisonedList filters the probe results down to the poisoned names —
+// the list the DNS forwarder protects.
+func PoisonedList(results []DomainProbeResult) []string {
+	var out []string
+	for _, res := range results {
+		if res.Poisoned {
+			out = append(out, res.Domain)
+		}
+	}
+	return out
+}

@@ -1,0 +1,381 @@
+// Package intang implements the INTANG engine of §6: a
+// measurement-driven censorship-evasion controller that interposes on
+// the client's traffic (the netfilter-queue position), chooses the most
+// promising strategy per server from cached history, measures hop
+// counts for TTL-based insertion packets, and transparently forwards
+// UDP DNS queries over evasion-protected TCP.
+package intang
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"intango/internal/core"
+	"intango/internal/dnsmsg"
+	"intango/internal/kvstore"
+	"intango/internal/netem"
+	"intango/internal/packet"
+	"intango/internal/tcpstack"
+)
+
+// Options configures an INTANG instance.
+type Options struct {
+	// Candidates is the ordered list of strategy names to try against
+	// a server with no cached result. Defaults to the paper's best
+	// performers (Table 4), strongest first.
+	Candidates []string
+	// CacheTTL bounds how long a per-server strategy result is trusted
+	// before re-measurement (§6: "retained only for a certain period").
+	CacheTTL time.Duration
+	// Resolver is the unpolluted DNS-over-TCP resolver the DNS
+	// forwarder targets.
+	Resolver packet.Addr
+	// Delta is the initial TTL safety margin subtracted from the
+	// measured hop count (§7.1, δ=2).
+	Delta int
+	// MaxProbeTTL bounds hop-count probing.
+	MaxProbeTTL int
+	// ResponseTimeout is how long a protected connection may stay
+	// silent before INTANG books it as a Failure-1 and adapts.
+	ResponseTimeout time.Duration
+	// AdaptiveDelta lets INTANG converge δ per destination (§7.1): a
+	// timeout (insertion likely hit the server or a server-side
+	// middlebox) raises δ; exhausting the strategy rotation (insertion
+	// likely dying before the GFW) lowers it.
+	AdaptiveDelta bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Candidates == nil {
+		o.Candidates = []string{
+			"teardown-reversal", "improved-teardown",
+			"creation-resync-desync", "improved-prefill",
+		}
+	}
+	if o.CacheTTL == 0 {
+		o.CacheTTL = 30 * time.Minute
+	}
+	if o.Delta == 0 {
+		o.Delta = 2
+	}
+	if o.MaxProbeTTL == 0 {
+		o.MaxProbeTTL = 32
+	}
+	if o.ResponseTimeout == 0 {
+		o.ResponseTimeout = 6 * time.Second
+	}
+	return o
+}
+
+// INTANG owns a core.Engine and drives its strategy choice.
+type INTANG struct {
+	Engine *core.Engine
+	Opts   Options
+	Store  *kvstore.CachedStore
+
+	sim       *netem.Simulator
+	stack     *tcpstack.Stack
+	factories map[string]core.Factory
+
+	// rotation tracks which candidate a server is on.
+	rotation map[packet.Addr]int
+	// live maps a flow to the server/strategy pair awaiting feedback.
+	live map[packet.FourTuple]*liveFlow
+
+	// hops holds measured hop counts per destination.
+	hops map[packet.Addr]int
+	// delta holds the converged per-destination TTL margin.
+	delta map[packet.Addr]int
+	// probe bookkeeping: probe source port → TTL used.
+	probePorts map[uint16]int
+	probeBase  uint16
+
+	// dnsPending maps a forwarder TCP connection to the original UDP
+	// query context.
+	dnsPending map[*tcpstack.Conn]dnsQueryCtx
+
+	// Stats counts engine events by kind.
+	Stats map[string]int
+}
+
+type liveFlow struct {
+	server   packet.Addr
+	strategy string
+	decided  bool
+}
+
+type dnsQueryCtx struct {
+	clientPort uint16
+	id         uint16
+}
+
+// New wires an INTANG instance between stack and the client end of
+// path.
+func New(sim *netem.Simulator, path *netem.Path, stack *tcpstack.Stack, opts Options) *INTANG {
+	opts = opts.withDefaults()
+	it := &INTANG{
+		Opts:       opts,
+		Store:      kvstore.NewCachedStore(1024, func() time.Duration { return sim.Now() }),
+		sim:        sim,
+		stack:      stack,
+		factories:  core.BuiltinFactories(),
+		rotation:   make(map[packet.Addr]int),
+		live:       make(map[packet.FourTuple]*liveFlow),
+		hops:       make(map[packet.Addr]int),
+		delta:      make(map[packet.Addr]int),
+		probePorts: make(map[uint16]int),
+		probeBase:  61000,
+		dnsPending: make(map[*tcpstack.Conn]dnsQueryCtx),
+		Stats:      make(map[string]int),
+	}
+	env := core.DefaultEnv(10, sim.Rand())
+	it.Engine = core.NewEngine(sim, path, stack, env)
+	it.Engine.NewStrategy = it.newStrategy
+	it.Engine.OnInbound = it.onInbound
+	it.Engine.OnOutbound = it.onOutbound
+	return it
+}
+
+// cacheKey is the per-server strategy record key.
+func cacheKey(addr packet.Addr) string { return "strategy:" + addr.String() }
+
+// newStrategy picks the most promising strategy for a new flow (§6).
+func (it *INTANG) newStrategy(tuple packet.FourTuple) core.Strategy {
+	server := tuple.DstAddr
+	name := it.ChooseStrategy(server)
+	lf := &liveFlow{server: server, strategy: name}
+	it.live[tuple] = lf
+	it.Stats["flow:"+name]++
+	if it.Opts.ResponseTimeout > 0 {
+		it.sim.At(it.Opts.ResponseTimeout, func() { it.reportTimeout(lf) })
+	}
+	f, ok := it.factories[name]
+	if !ok {
+		return core.Passthrough{}
+	}
+	return f()
+}
+
+// DeltaFor returns the converged TTL margin for a destination.
+func (it *INTANG) DeltaFor(server packet.Addr) int {
+	if d, ok := it.delta[server]; ok {
+		return d
+	}
+	return it.Opts.Delta
+}
+
+// reportTimeout books a silent connection as Failure-1: the likeliest
+// cause is an insertion packet overshooting the GFW into a server-side
+// middlebox or the server, so δ grows (the insertion TTL shrinks).
+func (it *INTANG) reportTimeout(lf *liveFlow) {
+	if lf.decided {
+		return
+	}
+	lf.decided = true
+	it.Stats["timeout"]++
+	if v, ok := it.Store.Get(cacheKey(lf.server)); ok && v == lf.strategy {
+		it.Store.Delete(cacheKey(lf.server))
+	}
+	if it.Opts.AdaptiveDelta {
+		d := it.DeltaFor(lf.server)
+		if d < 6 {
+			it.delta[lf.server] = d + 1
+			it.applyTTL(lf.server)
+			it.Stats["delta-raise"]++
+		}
+	}
+}
+
+// ChooseStrategy returns the strategy INTANG would use for server now:
+// the cached winner if present, else the current rotation candidate.
+func (it *INTANG) ChooseStrategy(server packet.Addr) string {
+	if v, ok := it.Store.Get(cacheKey(server)); ok {
+		return v
+	}
+	idx := it.rotation[server] % len(it.Opts.Candidates)
+	return it.Opts.Candidates[idx]
+}
+
+// reportSuccess caches the working strategy for the server.
+func (it *INTANG) reportSuccess(lf *liveFlow) {
+	if lf.decided {
+		return
+	}
+	lf.decided = true
+	it.Store.Set(cacheKey(lf.server), lf.strategy, it.Opts.CacheTTL)
+	it.Stats["success"]++
+}
+
+// reportFailure advances the rotation for the server and drops any
+// stale cached entry.
+func (it *INTANG) reportFailure(lf *liveFlow) {
+	if lf.decided {
+		return
+	}
+	lf.decided = true
+	if v, ok := it.Store.Get(cacheKey(lf.server)); ok && v == lf.strategy {
+		it.Store.Delete(cacheKey(lf.server))
+	}
+	it.rotation[lf.server]++
+	it.Stats["failure"]++
+	// Exhausting the whole rotation suggests the insertion packets are
+	// not reaching the GFW at all (§7.1's outside-China TTL problem):
+	// shrink δ so they travel further.
+	if it.Opts.AdaptiveDelta && it.rotation[lf.server]%len(it.Opts.Candidates) == 0 {
+		if d := it.DeltaFor(lf.server); d > 0 {
+			it.delta[lf.server] = d - 1
+			it.applyTTL(lf.server)
+			it.Stats["delta-lower"]++
+		}
+	}
+}
+
+// onInbound watches feedback for live flows, hop-probe replies, and
+// forwarder DNS responses.
+func (it *INTANG) onInbound(pkt *packet.Packet) bool {
+	switch {
+	case pkt.ICMP != nil && pkt.ICMP.Type == packet.ICMPTimeExceeded:
+		// Hop probes that died mid-path; nothing to learn beyond "not
+		// reached", which the TTL sweep already encodes.
+		if _, sp, _, _, ok := pkt.ICMP.QuotedTCP(); ok {
+			if _, isProbe := it.probePorts[sp]; isProbe {
+				return false // consume
+			}
+		}
+		return true
+	case pkt.TCP != nil:
+		dport := pkt.TCP.DstPort
+		if ttl, isProbe := it.probePorts[dport]; isProbe {
+			// A SYN/ACK or RST from the server: TTL `ttl` reached it.
+			if cur, ok := it.hops[pkt.IP.Src]; !ok || ttl < cur {
+				it.hops[pkt.IP.Src] = ttl
+				it.applyTTL(pkt.IP.Src)
+			}
+			return false // consume: the stack has no socket for probes
+		}
+		it.feedback(pkt)
+		return true
+	}
+	return true
+}
+
+// feedback interprets inbound packets as per-flow success/failure
+// evidence: server payload means the strategy worked; a RST means it
+// did not.
+func (it *INTANG) feedback(pkt *packet.Packet) {
+	key := pkt.Tuple().Reverse()
+	lf, ok := it.live[key]
+	if !ok {
+		return
+	}
+	switch {
+	case len(pkt.Payload) > 0:
+		it.reportSuccess(lf)
+	case pkt.TCP.HasFlag(packet.FlagRST):
+		it.reportFailure(lf)
+	}
+}
+
+// --- hop-count measurement (tcptraceroute-style, §7.1) ---
+
+// MeasureHops launches a TTL sweep of SYN probes toward dst:port. The
+// result lands asynchronously (as the simulation runs) in HopsTo, and
+// the insertion TTL is updated automatically.
+func (it *INTANG) MeasureHops(dst packet.Addr, port uint16) {
+	for ttl := 1; ttl <= it.Opts.MaxProbeTTL; ttl++ {
+		srcPort := it.probeBase
+		it.probeBase++
+		it.probePorts[srcPort] = ttl
+		probe := packet.NewTCP(it.stack.Addr, srcPort, dst, port, packet.FlagSYN,
+			packet.Seq(it.sim.Rand().Uint32()), 0, nil)
+		probe.IP.TTL = uint8(ttl)
+		probe.Finalize()
+		delay := time.Duration(ttl) * time.Millisecond
+		p := probe
+		it.sim.At(delay, func() { it.Engine.Path.SendFromClient(p) })
+	}
+	it.Stats["hop-probe-sweeps"]++
+}
+
+// HopsTo returns the measured hop count to dst, if the sweep completed.
+func (it *INTANG) HopsTo(dst packet.Addr) (int, bool) {
+	h, ok := it.hops[dst]
+	return h, ok
+}
+
+// applyTTL folds the hop measurement and converged δ into the crafting
+// environment: insertion TTL = hops - δ (§7.1).
+func (it *INTANG) applyTTL(dst packet.Addr) {
+	h, ok := it.hops[dst]
+	if !ok {
+		return
+	}
+	ttl := h - it.DeltaFor(dst)
+	if ttl < 1 {
+		ttl = 1
+	}
+	it.Engine.Env.InsertionTTL = uint8(ttl)
+}
+
+// --- DNS forwarder (§6) ---
+
+// onOutbound redirects application UDP DNS queries into TCP queries
+// against the configured resolver, protected by the same evasion
+// strategies as any other connection.
+func (it *INTANG) onOutbound(pkt *packet.Packet) bool {
+	if pkt.UDP == nil || pkt.UDP.DstPort != 53 || it.Opts.Resolver.IsZero() {
+		return true
+	}
+	query, err := dnsmsg.Decode(pkt.Payload)
+	if err != nil || query.IsResponse() {
+		return true
+	}
+	it.Stats["dns-forwarded"]++
+	clientPort := pkt.UDP.SrcPort
+	conn := it.stack.Connect(it.Opts.Resolver, 53)
+	it.dnsPending[conn] = dnsQueryCtx{clientPort: clientPort, id: query.ID}
+	payload := dnsmsg.FrameTCP(pkt.Payload)
+	sent := false
+	conn.OnStateChange = func(from, to tcpstack.State) {
+		if to == tcpstack.Established && !sent {
+			sent = true
+			conn.Write(payload)
+		}
+	}
+	consumed := 0
+	conn.OnData = func([]byte) {
+		msgs, n := dnsmsg.UnframeTCP(conn.Received()[consumed:])
+		consumed += n
+		for _, raw := range msgs {
+			it.deliverDNSResponse(conn, raw)
+		}
+	}
+	return false // the UDP query is consumed
+}
+
+// deliverDNSResponse converts a TCP DNS answer back into the UDP
+// response the application expects — "completely transparent" (§6).
+func (it *INTANG) deliverDNSResponse(conn *tcpstack.Conn, raw []byte) {
+	ctx, ok := it.dnsPending[conn]
+	if !ok {
+		return
+	}
+	delete(it.dnsPending, conn)
+	resp := packet.NewUDP(it.Opts.Resolver, 53, it.stack.Addr, ctx.clientPort, raw)
+	it.stack.Deliver(resp)
+	it.Stats["dns-answered"]++
+	conn.Close()
+}
+
+// Describe renders the component diagram of Fig. 2 as text: the
+// interception loop, strategy registry, caches, and DNS thread.
+func (it *INTANG) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INTANG{candidates=%v, cacheTTL=%v, resolver=%v, δ=%d}\n",
+		it.Opts.Candidates, it.Opts.CacheTTL, it.Opts.Resolver, it.Opts.Delta)
+	b.WriteString("main thread: netfilter-queue loop → strategy callbacks → raw-socket injection\n")
+	b.WriteString("caching thread: LRU front cache → TTL'd store (Redis stand-in)\n")
+	b.WriteString("DNS thread: UDP intercept → DNS-over-TCP forwarder → UDP reply synthesis\n")
+	return b.String()
+}

@@ -1,0 +1,116 @@
+// Package middlebox implements the in-path network middleboxes whose
+// interference §3.4 identifies as a major cause of evasion failures:
+// fragment droppers and reassemblers, checksum validators, flag-based
+// droppers, stateful sequence-checking firewalls, and NAT. The four
+// client-side profiles measured in Table 2 (Aliyun, QCloud, China
+// Unicom Shijiazhuang and Tianjin) are provided as constructors.
+package middlebox
+
+import (
+	"math/rand"
+
+	"intango/internal/netem"
+	"intango/internal/packet"
+)
+
+// FragmentDropper discards IP fragments (Aliyun, Table 2: clients were
+// unable to send out IP fragments).
+type FragmentDropper struct{}
+
+// Name implements netem.Processor.
+func (FragmentDropper) Name() string { return "frag-dropper" }
+
+// Process implements netem.Processor.
+func (FragmentDropper) Process(ctx *netem.Context, pkt *packet.Packet, dir netem.Direction) netem.Verdict {
+	if pkt.IP.IsFragment() {
+		return netem.Drop
+	}
+	return netem.Pass
+}
+
+// FragmentReassembler buffers IP fragments and forwards the rebuilt
+// datagram — the Table 2 behaviour that makes fragmented requests
+// "deterministically captured by the GFW" downstream.
+type FragmentReassembler struct {
+	r *packet.Reassembler
+}
+
+// NewFragmentReassembler returns a reassembler middlebox. It rebuilds
+// with latest-copy-wins semantics, which is what makes fragmented
+// requests "deterministically captured by the GFW" downstream (§3.4):
+// the reassembled datagram carries the real data, not the decoy.
+func NewFragmentReassembler() *FragmentReassembler {
+	return &FragmentReassembler{r: packet.NewReassembler(packet.LastWins)}
+}
+
+// Name implements netem.Processor.
+func (m *FragmentReassembler) Name() string { return "frag-reassembler" }
+
+// Process implements netem.Processor.
+func (m *FragmentReassembler) Process(ctx *netem.Context, pkt *packet.Packet, dir netem.Direction) netem.Verdict {
+	if !pkt.IP.IsFragment() {
+		return netem.Pass
+	}
+	whole, err := m.r.Add(pkt.Clone())
+	if err != nil || whole == nil {
+		return netem.Drop // buffered (or broken): the fragment itself stops here
+	}
+	ctx.Inject(dir, whole, 0)
+	return netem.Drop
+}
+
+// ChecksumValidator drops TCP packets with incorrect checksums (China
+// Unicom Tianjin, Table 2).
+type ChecksumValidator struct{}
+
+// Name implements netem.Processor.
+func (ChecksumValidator) Name() string { return "checksum-validator" }
+
+// Process implements netem.Processor.
+func (ChecksumValidator) Process(ctx *netem.Context, pkt *packet.Packet, dir netem.Direction) netem.Verdict {
+	if pkt.TCP != nil && !pkt.TCP.VerifyChecksum(pkt.IP.Src, pkt.IP.Dst, pkt.Payload) {
+		return netem.Drop
+	}
+	return netem.Pass
+}
+
+// FlaglessDropper drops TCP packets with no flags set (China Unicom
+// Tianjin, Table 2).
+type FlaglessDropper struct{}
+
+// Name implements netem.Processor.
+func (FlaglessDropper) Name() string { return "flagless-dropper" }
+
+// Process implements netem.Processor.
+func (FlaglessDropper) Process(ctx *netem.Context, pkt *packet.Packet, dir netem.Direction) netem.Verdict {
+	if pkt.TCP != nil && pkt.TCP.Flags == 0 {
+		return netem.Drop
+	}
+	return netem.Pass
+}
+
+// FlagDropper drops client-originated TCP packets carrying the given
+// flag with some probability — the "sometimes drops FIN/RST insertion
+// packets" rows of Table 2.
+type FlagDropper struct {
+	Flag uint8
+	Prob float64
+	rng  *rand.Rand
+	name string
+}
+
+// NewFlagDropper builds a dropper for flag with drop probability p.
+func NewFlagDropper(name string, flag uint8, p float64, rng *rand.Rand) *FlagDropper {
+	return &FlagDropper{Flag: flag, Prob: p, rng: rng, name: name}
+}
+
+// Name implements netem.Processor.
+func (m *FlagDropper) Name() string { return m.name }
+
+// Process implements netem.Processor.
+func (m *FlagDropper) Process(ctx *netem.Context, pkt *packet.Packet, dir netem.Direction) netem.Verdict {
+	if dir == netem.ToServer && pkt.TCP != nil && pkt.TCP.HasFlag(m.Flag) && m.rng.Float64() < m.Prob {
+		return netem.Drop
+	}
+	return netem.Pass
+}

@@ -1,0 +1,68 @@
+package middlebox
+
+import (
+	"math/rand"
+
+	"intango/internal/netem"
+	"intango/internal/packet"
+)
+
+// ProfileName identifies one of the four client-side middlebox
+// behaviours measured in Table 2.
+type ProfileName string
+
+// The Table 2 profiles.
+const (
+	ProfileAliyun    ProfileName = "aliyun"
+	ProfileQCloud    ProfileName = "qcloud"
+	ProfileUnicomSJZ ProfileName = "unicom-sjz"
+	ProfileUnicomTJ  ProfileName = "unicom-tj"
+)
+
+// AllProfiles lists the Table 2 profiles with the share of vantage
+// points using each (6/11, 3/11, 1/11, 1/11).
+func AllProfiles() []ProfileName {
+	return []ProfileName{ProfileAliyun, ProfileQCloud, ProfileUnicomSJZ, ProfileUnicomTJ}
+}
+
+// sometimesProb is the drop probability backing Table 2's "sometimes
+// dropped" cells.
+const sometimesProb = 0.4
+
+// BuildProfile returns the client-side middlebox chain for a profile,
+// exactly per Table 2:
+//
+//	                 Aliyun      QCloud      Unicom SJZ  Unicom TJ
+//	IP fragments     discarded   reassembled reassembled reassembled
+//	wrong checksum   pass        pass        pass        dropped
+//	no TCP flag      pass        pass        pass        dropped
+//	RST packets      pass        sometimes   pass        pass
+//	FIN packets      sometimes   pass        dropped     dropped
+func BuildProfile(p ProfileName, rng *rand.Rand) []netem.Processor {
+	switch p {
+	case ProfileAliyun:
+		return []netem.Processor{
+			FragmentDropper{},
+			NewFlagDropper("fin-dropper", packet.FlagFIN, sometimesProb, rng),
+		}
+	case ProfileQCloud:
+		return []netem.Processor{
+			NewFragmentReassembler(),
+			NewFlagDropper("rst-dropper", packet.FlagRST, sometimesProb, rng),
+		}
+	case ProfileUnicomSJZ:
+		return []netem.Processor{
+			NewFragmentReassembler(),
+			NewFlagDropper("fin-dropper", packet.FlagFIN, 1.0, rng),
+		}
+	case ProfileUnicomTJ:
+		return []netem.Processor{
+			NewFragmentReassembler(),
+			ChecksumValidator{},
+			FlaglessDropper{},
+			NewFlagDropper("fin-dropper", packet.FlagFIN, 1.0, rng),
+		}
+	default:
+		return nil
+	}
+}

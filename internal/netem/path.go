@@ -1,0 +1,359 @@
+package netem
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"intango/internal/packet"
+)
+
+// Direction is the direction a packet travels along a path.
+type Direction int
+
+const (
+	// ToServer is client→server travel.
+	ToServer Direction = iota
+	// ToClient is server→client travel.
+	ToClient
+)
+
+// String names the direction for traces.
+func (d Direction) String() string {
+	if d == ToServer {
+		return "→srv"
+	}
+	return "→cli"
+}
+
+// Flip returns the opposite direction.
+func (d Direction) Flip() Direction { return 1 - d }
+
+// Verdict is a processor's decision about a packet.
+type Verdict int
+
+const (
+	// Pass forwards the (possibly mutated) packet.
+	Pass Verdict = iota
+	// Drop silently discards the packet.
+	Drop
+)
+
+// Processor is anything attached at a hop that sees packets in both
+// directions: middleboxes, and the GFW wiretap. An on-path wiretap must
+// return Pass and must not mutate the packet (clone first); in-path
+// middleboxes may mutate or Drop.
+type Processor interface {
+	// Name labels the processor in traces.
+	Name() string
+	// Process handles pkt traveling in dir at this hop.
+	Process(ctx *Context, pkt *packet.Packet, dir Direction) Verdict
+}
+
+// Endpoint receives packets at either end of a path.
+type Endpoint interface {
+	Deliver(pkt *packet.Packet)
+}
+
+// EndpointFunc adapts a function to the Endpoint interface.
+type EndpointFunc func(pkt *packet.Packet)
+
+// Deliver implements Endpoint.
+func (f EndpointFunc) Deliver(pkt *packet.Packet) { f(pkt) }
+
+// Hop is one position on a path: a router (which decrements TTL and
+// emits ICMP Time-Exceeded) with optional attached processors, plus the
+// link toward the next element (server side).
+type Hop struct {
+	Name   string
+	Router bool // decrement TTL, expire packets
+	// Taps are "on-path" observers (§2.1): they see every packet that
+	// arrives at this hop — including packets about to expire here —
+	// before TTL processing, cannot drop, and must not mutate. The GFW
+	// wiretap attaches here.
+	Taps []Processor
+	// Processors are "in-path" devices (middleboxes): they run after
+	// TTL processing and may mutate or Drop.
+	Processors []Processor
+	// Latency and LossRate describe the link from this hop toward the
+	// next element (the next hop, or the server after the last hop).
+	Latency  time.Duration
+	LossRate float64
+}
+
+// Path is a linear client—hops—server topology bound to a simulator.
+type Path struct {
+	Sim    *Simulator
+	Hops   []*Hop
+	Client Endpoint
+	Server Endpoint
+	// ClientLink is the link between the client and the first hop.
+	ClientLink struct {
+		Latency  time.Duration
+		LossRate float64
+	}
+	// Trace, when set, observes every packet event on the path.
+	Trace func(ev TraceEvent)
+	// MTU, when nonzero, is enforced at the client link: datagrams
+	// whose wire size exceeds it are dropped (traced as "drop-mtu").
+	// The simulator does not auto-fragment; senders must fragment
+	// deliberately, as the evasion strategies do.
+	MTU int
+}
+
+// TraceEvent is one observable packet event.
+type TraceEvent struct {
+	Time  time.Duration
+	Where string // element name
+	Event string // "send", "fwd", "deliver", "drop-ttl", "drop-loss", "drop-proc", "inject"
+	Dir   Direction
+	Pkt   *packet.Packet
+}
+
+// String renders a trace line.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%8.3fms %-12s %-9s %s %s",
+		float64(e.Time)/float64(time.Millisecond), e.Where, e.Event, e.Dir, e.Pkt)
+}
+
+// Context gives processors access to simulation services and the
+// ability to inject packets from their own position.
+type Context struct {
+	Sim  *Simulator
+	Path *Path
+	// HopIndex is the position of the processor's hop.
+	HopIndex int
+}
+
+// Inject sends pkt from this context's hop in dir after delay. The GFW
+// uses it to fire forged RSTs; reassembling middleboxes use it to emit
+// rebuilt datagrams.
+func (c *Context) Inject(dir Direction, pkt *packet.Packet, delay time.Duration) {
+	c.Path.emit(c.HopIndex, dir, pkt, delay, "inject")
+}
+
+// element indices: -1 = client, 0..len(hops)-1 = hops, len(hops) = server.
+func (p *Path) serverIndex() int { return len(p.Hops) }
+
+func (p *Path) trace(where, event string, dir Direction, pkt *packet.Packet) {
+	if p.Trace != nil {
+		p.Trace(TraceEvent{Time: p.Sim.Now(), Where: where, Event: event, Dir: dir, Pkt: pkt})
+	}
+}
+
+// SendFromClient transmits pkt from the client end.
+func (p *Path) SendFromClient(pkt *packet.Packet) {
+	if p.MTU > 0 && wireSize(pkt) > p.MTU {
+		p.trace("client", "drop-mtu", ToServer, pkt)
+		return
+	}
+	p.trace("client", "send", ToServer, pkt)
+	p.emit(-1, ToServer, pkt, 0, "")
+}
+
+// wireSize computes the datagram's on-the-wire size from its fields.
+func wireSize(pkt *packet.Packet) int {
+	n := pkt.IP.HeaderLen() + len(pkt.Payload)
+	switch {
+	case pkt.TCP != nil:
+		n += pkt.TCP.HeaderLen()
+	case pkt.UDP != nil:
+		n += packet.UDPHeaderLen
+	case pkt.ICMP != nil:
+		n += 8 + len(pkt.ICMP.Body)
+	}
+	return n
+}
+
+// SendFromServer transmits pkt from the server end.
+func (p *Path) SendFromServer(pkt *packet.Packet) {
+	p.trace("server", "send", ToClient, pkt)
+	p.emit(p.serverIndex(), ToClient, pkt, 0, "")
+}
+
+// linkFrom returns the latency/loss of the link leaving element idx in
+// direction dir.
+func (p *Path) linkFrom(idx int, dir Direction) (time.Duration, float64) {
+	if dir == ToServer {
+		if idx < 0 {
+			return p.ClientLink.Latency, p.ClientLink.LossRate
+		}
+		return p.Hops[idx].Latency, p.Hops[idx].LossRate
+	}
+	// ToClient: the link leaving element idx toward the client is the
+	// link between idx-1 and idx.
+	if idx <= 0 {
+		return p.ClientLink.Latency, p.ClientLink.LossRate
+	}
+	return p.Hops[idx-1].Latency, p.Hops[idx-1].LossRate
+}
+
+// emit schedules pkt's traversal of the link leaving element from in
+// direction dir, then processing at the next element.
+func (p *Path) emit(from int, dir Direction, pkt *packet.Packet, extraDelay time.Duration, label string) {
+	if label != "" && from >= 0 && from < p.serverIndex() {
+		p.trace(p.Hops[from].Name, label, dir, pkt)
+	}
+	lat, loss := p.linkFrom(from, dir)
+	next := from + 1
+	if dir == ToClient {
+		next = from - 1
+	}
+	p.Sim.At(extraDelay+lat, func() {
+		if loss > 0 && p.Sim.Rand().Float64() < loss {
+			p.trace(p.elementName(next), "drop-loss", dir, pkt)
+			return
+		}
+		p.arrive(next, dir, pkt)
+	})
+}
+
+func (p *Path) elementName(idx int) string {
+	switch {
+	case idx < 0:
+		return "client"
+	case idx >= p.serverIndex():
+		return "server"
+	default:
+		return p.Hops[idx].Name
+	}
+}
+
+// arrive processes pkt at element idx.
+func (p *Path) arrive(idx int, dir Direction, pkt *packet.Packet) {
+	switch {
+	case idx < 0:
+		p.trace("client", "deliver", dir, pkt)
+		if p.Client != nil {
+			p.Client.Deliver(pkt)
+		}
+		return
+	case idx >= p.serverIndex():
+		p.trace("server", "deliver", dir, pkt)
+		if p.Server != nil {
+			p.Server.Deliver(pkt)
+		}
+		return
+	}
+	hop := p.Hops[idx]
+	ctx := &Context{Sim: p.Sim, Path: p, HopIndex: idx}
+	for _, tap := range hop.Taps {
+		tap.Process(ctx, pkt, dir)
+	}
+	if hop.Router {
+		// Routers validate the IP header checksum (RFC 1812 §5.2.2)
+		// and, in this model, discard datagrams carrying IP options —
+		// the §5.3 observation that IP-layer discrepancies "are often
+		// dropped by routers or middleboxes" and therefore make poor
+		// insertion packets.
+		if !pkt.IP.VerifyChecksum() {
+			p.trace(hop.Name, "drop-ipck", dir, pkt)
+			return
+		}
+		if len(pkt.IP.Options) > 0 {
+			p.trace(hop.Name, "drop-ipopt", dir, pkt)
+			return
+		}
+		if pkt.IP.TTL <= 1 {
+			p.trace(hop.Name, "drop-ttl", dir, pkt)
+			p.sendTimeExceeded(idx, dir, pkt)
+			return
+		}
+		pkt.IP.DecrementTTL()
+	}
+	for _, proc := range hop.Processors {
+		if proc.Process(ctx, pkt, dir) == Drop {
+			p.trace(hop.Name, "drop-proc", dir, pkt)
+			return
+		}
+	}
+	p.trace(hop.Name, "fwd", dir, pkt)
+	p.emit(idx, dir, pkt, 0, "")
+}
+
+// sendTimeExceeded emits an ICMP Time-Exceeded from hop idx back toward
+// the packet's source.
+func (p *Path) sendTimeExceeded(idx int, dir Direction, orig *packet.Packet) {
+	msg := packet.TimeExceeded(orig)
+	reply := &packet.Packet{
+		IP: packet.IPv4Header{
+			TTL:      64,
+			Protocol: packet.ProtoICMP,
+			Src:      p.hopAddr(idx),
+			Dst:      orig.IP.Src,
+		},
+		ICMP: msg,
+	}
+	reply.Finalize()
+	p.emit(idx, dir.Flip(), reply, 0, "inject")
+}
+
+// hopAddr synthesizes a stable router address for hop idx, so
+// traceroute-style measurements can distinguish hops.
+func (p *Path) hopAddr(idx int) packet.Addr {
+	return packet.AddrFrom4(10, 254, byte(idx>>8), byte(idx))
+}
+
+// RouterHopCount returns the number of TTL-decrementing hops between the
+// client and the server.
+func (p *Path) RouterHopCount() int {
+	n := 0
+	for _, h := range p.Hops {
+		if h.Router {
+			n++
+		}
+	}
+	return n
+}
+
+// HopIndexOf returns the index of the first hop carrying a processor
+// with the given name, or -1.
+func (p *Path) HopIndexOf(name string) int {
+	for i, h := range p.Hops {
+		for _, proc := range h.Processors {
+			if proc.Name() == name {
+				return i
+			}
+		}
+		for _, tap := range h.Taps {
+			if tap.Name() == name {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// RouterHopsBefore returns how many TTL-decrementing hops a
+// client-originated packet crosses up to and including hop idx.
+func (p *Path) RouterHopsBefore(idx int) int {
+	n := 0
+	for i := 0; i <= idx && i < len(p.Hops); i++ {
+		if p.Hops[i].Router {
+			n++
+		}
+	}
+	return n
+}
+
+// Describe renders the topology as a one-line ASCII diagram (Fig. 1).
+func (p *Path) Describe() string {
+	var b strings.Builder
+	b.WriteString("client")
+	for _, h := range p.Hops {
+		b.WriteString(" — ")
+		b.WriteString(h.Name)
+		var names []string
+		for _, tap := range h.Taps {
+			names = append(names, "tap:"+tap.Name())
+		}
+		for _, proc := range h.Processors {
+			names = append(names, proc.Name())
+		}
+		if len(names) > 0 {
+			fmt.Fprintf(&b, "[%s]", strings.Join(names, ","))
+		}
+	}
+	b.WriteString(" — server")
+	return b.String()
+}

@@ -1,0 +1,99 @@
+// Package netem is a deterministic discrete-event network simulator. It
+// models the measurement environment of the paper: a client and a server
+// joined by a chain of router hops, with middleboxes and the GFW's
+// on-path wiretap attached at arbitrary hops, per-link latency and loss,
+// TTL handling with ICMP Time-Exceeded generation, and full packet
+// tracing for the time-sequence diagrams of Figs. 3 and 4.
+package netem
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Simulator owns virtual time and the event queue. All model code runs
+// single-threaded inside Run, so no locking is needed anywhere in the
+// simulation.
+type Simulator struct {
+	now   time.Duration
+	seq   uint64
+	queue eventHeap
+	rng   *rand.Rand
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break for determinism
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// NewSimulator returns a simulator seeded for deterministic runs.
+func NewSimulator(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's deterministic PRNG.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run after delay (relative to now). A zero or
+// negative delay runs on the next step, still in deterministic order.
+func (s *Simulator) At(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.queue, event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Step executes the next event. It reports false when the queue is
+// empty.
+func (s *Simulator) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains or the budget of events is
+// exhausted (a guard against accidental livelock in model code). It
+// returns the number of events executed.
+func (s *Simulator) Run(budget int) int {
+	n := 0
+	for n < budget && s.Step() {
+		n++
+	}
+	return n
+}
+
+// RunFor executes events with timestamps up to now+d, then advances the
+// clock to exactly now+d (even if the queue still holds later events).
+func (s *Simulator) RunFor(d time.Duration) {
+	deadline := s.now + d
+	for s.queue.Len() > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	s.now = deadline
+}
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return s.queue.Len() }

@@ -1,0 +1,32 @@
+package packet
+
+// Checksum computes the 16-bit one's-complement Internet checksum
+// (RFC 1071) over data, starting from an initial partial sum. The
+// initial sum lets callers fold in a pseudo-header before the payload.
+func Checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	i := 0
+	for ; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if i < len(data) {
+		sum += uint32(data[i]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum folds the IPv4 pseudo-header for proto and an L4
+// length into a partial checksum accumulator.
+func pseudoHeaderSum(src, dst Addr, proto uint8, l4len int) uint32 {
+	var sum uint32
+	sum += uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += uint32(proto)
+	sum += uint32(l4len)
+	return sum
+}

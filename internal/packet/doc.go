@@ -1,0 +1,14 @@
+// Package packet implements the wire formats the rest of the system is
+// built on: IPv4, TCP (with options including the MD5 signature option of
+// RFC 2385), UDP, and a minimal ICMP. It provides real serialization and
+// parsing with Internet checksums, IP fragmentation and reassembly, and
+// modular-arithmetic helpers for TCP sequence numbers.
+//
+// The API follows the gopacket idiom: types expose SerializeTo-style
+// serialization and DecodeFromBytes-style parsing, and the Packet
+// container gives typed access to each layer. Unlike gopacket, the types
+// here are plain structs designed to be crafted field-by-field, because
+// the whole point of this library is sending packets whose fields are
+// deliberately wrong (bad checksums, lying length fields, stale
+// timestamps, unsolicited MD5 options).
+package packet

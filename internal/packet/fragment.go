@@ -1,0 +1,206 @@
+package packet
+
+import (
+	"fmt"
+)
+
+// Fragment splits a finalized datagram into IP fragments whose L4
+// payloads are at most mtu-IPHeaderLen bytes (mtu counts the IP header).
+// The first fragment carries the L4 header; later fragments carry raw
+// bytes. mtu must allow at least 8 bytes of fragment data, and fragment
+// data lengths other than the last are rounded down to 8-byte multiples,
+// as required by the offset encoding.
+func Fragment(p *Packet, mtu int) ([]*Packet, error) {
+	if p.IP.IsFragment() {
+		return nil, fmt.Errorf("fragment: packet is already a fragment")
+	}
+	if p.IP.Flags&IPFlagDontFragment != 0 {
+		return nil, fmt.Errorf("fragment: DF set")
+	}
+	wire := p.Serialize(SerializeOptions{ComputeChecksums: true, FixLengths: true})
+	hl := p.IP.HeaderLen()
+	l4 := wire[hl:]
+	maxData := (mtu - hl) &^ 7
+	if maxData < 8 {
+		return nil, fmt.Errorf("fragment: mtu %d too small", mtu)
+	}
+	if len(l4) <= maxData {
+		return []*Packet{p.Clone()}, nil
+	}
+	var frags []*Packet
+	for off := 0; off < len(l4); off += maxData {
+		end := off + maxData
+		more := true
+		if end >= len(l4) {
+			end = len(l4)
+			more = false
+		}
+		f := &Packet{IP: p.IP.Clone()}
+		f.IP.FragOffset = uint16(off / 8)
+		if more {
+			f.IP.Flags |= IPFlagMoreFragments
+		} else {
+			f.IP.Flags &^= IPFlagMoreFragments
+		}
+		chunk := append([]byte(nil), l4[off:end]...)
+		if off == 0 {
+			// Re-parse the first chunk so the fragment has a typed L4
+			// header (it is what routers and the GFW look at).
+			f.IP.SetLengths(len(chunk))
+			tmp := f.IP.SerializeTo(nil, len(chunk), SerializeOptions{ComputeChecksums: true, FixLengths: true})
+			tmp = append(tmp, chunk...)
+			parsed, err := Parse(tmp)
+			if err != nil {
+				// L4 header split across fragments: keep raw bytes.
+				f.Payload = chunk
+			} else {
+				parsed.IP = f.IP.Clone()
+				f = parsed
+			}
+		} else {
+			f.Payload = chunk
+		}
+		f.IP.SetLengths(len(chunk))
+		f.IP.UpdateChecksum()
+		frags = append(frags, f)
+	}
+	return frags, nil
+}
+
+// fragKey identifies a fragment series per RFC 791.
+type fragKey struct {
+	src, dst Addr
+	proto    uint8
+	id       uint16
+}
+
+type fragPiece struct {
+	off  int // bytes
+	data []byte
+	last bool
+}
+
+type fragSeries struct {
+	pieces []fragPiece
+	// policy FirstWins retains the first copy of overlapping bytes;
+	// otherwise the latest copy wins.
+	haveLast bool
+	totalLen int
+}
+
+// OverlapPolicy selects which copy of overlapping fragment/segment data
+// a reassembler keeps. The paper (§3.2, citing Khattak et al.) reports
+// the GFW prefers the former copy for IP fragments and the latter for
+// TCP segments, while end hosts vary.
+type OverlapPolicy int
+
+const (
+	// FirstWins keeps the data that arrived first (GFW IP-fragment
+	// behaviour; also BSD-style segment reassembly).
+	FirstWins OverlapPolicy = iota
+	// LastWins lets newly arrived data overwrite (GFW TCP-segment
+	// behaviour).
+	LastWins
+)
+
+// Reassembler reassembles IP fragments into whole datagrams. Its
+// overlap policy is configurable because the divergence between
+// implementations is exactly what the evasion strategies exploit.
+type Reassembler struct {
+	Policy OverlapPolicy
+	series map[fragKey]*fragSeries
+}
+
+// NewReassembler returns a reassembler with the given overlap policy.
+func NewReassembler(policy OverlapPolicy) *Reassembler {
+	return &Reassembler{Policy: policy, series: make(map[fragKey]*fragSeries)}
+}
+
+// Add offers a packet to the reassembler. Whole datagrams are returned
+// unchanged. Fragments are buffered; when a series completes, the
+// reassembled datagram is parsed and returned. Otherwise Add returns
+// nil.
+func (r *Reassembler) Add(p *Packet) (*Packet, error) {
+	if !p.IP.IsFragment() {
+		return p, nil
+	}
+	key := fragKey{src: p.IP.Src, dst: p.IP.Dst, proto: p.IP.Protocol, id: p.IP.ID}
+	s := r.series[key]
+	if s == nil {
+		s = &fragSeries{}
+		r.series[key] = s
+	}
+	var data []byte
+	if p.IP.FragOffset == 0 {
+		// Emit the first fragment's stored bytes verbatim: its L4
+		// checksum is a piece of the original whole segment's checksum
+		// and must not be recomputed over the fragment alone.
+		data = p.Serialize(SerializeOptions{})[p.IP.HeaderLen():]
+	} else {
+		data = append([]byte(nil), p.Payload...)
+	}
+	piece := fragPiece{off: int(p.IP.FragOffset) * 8, data: data, last: !p.IP.MoreFragments()}
+	if piece.last {
+		s.haveLast = true
+		s.totalLen = piece.off + len(piece.data)
+	}
+	s.pieces = append(s.pieces, piece)
+	if !s.haveLast {
+		return nil, nil
+	}
+	buf, ok := s.assemble(r.Policy)
+	if !ok {
+		return nil, nil
+	}
+	delete(r.series, key)
+	hdr := p.IP.Clone()
+	hdr.Flags &^= IPFlagMoreFragments
+	hdr.FragOffset = 0
+	hdr.SetLengths(len(buf))
+	wire := hdr.SerializeTo(nil, len(buf), SerializeOptions{ComputeChecksums: true, FixLengths: true})
+	wire = append(wire, buf...)
+	return Parse(wire)
+}
+
+// assemble tries to build the full byte range [0, totalLen). It reports
+// ok=false while gaps remain.
+func (s *fragSeries) assemble(policy OverlapPolicy) ([]byte, bool) {
+	buf := make([]byte, s.totalLen)
+	written := make([]bool, s.totalLen)
+	pieces := s.pieces
+	if policy == FirstWins {
+		// Apply in arrival order but never overwrite.
+		for _, pc := range pieces {
+			for i, b := range pc.data {
+				at := pc.off + i
+				if at >= len(buf) {
+					break
+				}
+				if !written[at] {
+					buf[at] = b
+					written[at] = true
+				}
+			}
+		}
+	} else {
+		for _, pc := range pieces {
+			for i, b := range pc.data {
+				at := pc.off + i
+				if at >= len(buf) {
+					break
+				}
+				buf[at] = b
+				written[at] = true
+			}
+		}
+	}
+	for _, w := range written {
+		if !w {
+			return nil, false
+		}
+	}
+	return buf, true
+}
+
+// Pending returns the number of incomplete fragment series held.
+func (r *Reassembler) Pending() int { return len(r.series) }

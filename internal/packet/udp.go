@@ -1,0 +1,58 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// UDPHeaderLen is the length of a UDP header.
+const UDPHeaderLen = 8
+
+// UDPHeader is a UDP header.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+	Length           uint16 // header + payload; filled when opts.FixLengths
+	Checksum         uint16 // filled when opts.ComputeChecksums
+}
+
+// SerializeTo appends the encoded header and payload to buf.
+func (h *UDPHeader) SerializeTo(buf []byte, src, dst Addr, payload []byte, opts SerializeOptions) []byte {
+	if opts.FixLengths {
+		h.Length = uint16(UDPHeaderLen + len(payload))
+	}
+	start := len(buf)
+	out := append(buf, make([]byte, UDPHeaderLen)...)
+	out = append(out, payload...)
+	b := out[start:]
+	binary.BigEndian.PutUint16(b[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], h.DstPort)
+	binary.BigEndian.PutUint16(b[4:], h.Length)
+	if opts.ComputeChecksums {
+		binary.BigEndian.PutUint16(b[6:], 0)
+		ck := Checksum(b, pseudoHeaderSum(src, dst, ProtoUDP, len(b)))
+		if ck == 0 {
+			ck = 0xffff // RFC 768: transmitted zero means "no checksum"
+		}
+		h.Checksum = ck
+	}
+	binary.BigEndian.PutUint16(b[6:], h.Checksum)
+	return out
+}
+
+// DecodeFromBytes parses a UDP header, returning the bytes consumed.
+func (h *UDPHeader) DecodeFromBytes(data []byte) (int, error) {
+	if len(data) < UDPHeaderLen {
+		return 0, fmt.Errorf("udp: truncated header: %d bytes", len(data))
+	}
+	h.SrcPort = binary.BigEndian.Uint16(data[0:])
+	h.DstPort = binary.BigEndian.Uint16(data[2:])
+	h.Length = binary.BigEndian.Uint16(data[4:])
+	h.Checksum = binary.BigEndian.Uint16(data[6:])
+	return UDPHeaderLen, nil
+}
+
+// Clone returns a copy of the header.
+func (h *UDPHeader) Clone() *UDPHeader {
+	c := *h
+	return &c
+}

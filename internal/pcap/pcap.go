@@ -1,0 +1,135 @@
+// Package pcap writes (and reads back) classic libpcap capture files
+// containing the simulation's raw IPv4 datagrams, so any trial can be
+// inspected in Wireshark/tcpdump. Only the original, universally
+// supported pcap format is implemented (magic 0xa1b2c3d4, LINKTYPE_RAW).
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"intango/internal/netem"
+	"intango/internal/packet"
+)
+
+const (
+	magic = 0xa1b2c3d4
+	// linkTypeRaw is LINKTYPE_RAW: packets begin with the IPv4 header.
+	linkTypeRaw = 101
+	versionMaj  = 2
+	versionMin  = 4
+	snapLen     = 65535
+)
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w           io.Writer
+	wroteHeader bool
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+func (pw *Writer) header() error {
+	if pw.wroteHeader {
+		return nil
+	}
+	pw.wroteHeader = true
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint16(hdr[4:], versionMaj)
+	binary.LittleEndian.PutUint16(hdr[6:], versionMin)
+	// thiszone, sigfigs = 0
+	binary.LittleEndian.PutUint32(hdr[16:], snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], linkTypeRaw)
+	_, err := pw.w.Write(hdr[:])
+	return err
+}
+
+// WriteRaw records one raw IPv4 datagram at virtual time ts.
+func (pw *Writer) WriteRaw(ts time.Duration, data []byte) error {
+	if err := pw.header(); err != nil {
+		return err
+	}
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:], uint32(ts/time.Second))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(ts%time.Second/time.Microsecond))
+	binary.LittleEndian.PutUint32(rec[8:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(rec[12:], uint32(len(data)))
+	if _, err := pw.w.Write(rec[:]); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(data)
+	return err
+}
+
+// WritePacket serializes and records a simulation packet. The packet's
+// current field values are emitted verbatim — including deliberately
+// wrong checksums — so the capture shows exactly what was "on the
+// wire".
+func (pw *Writer) WritePacket(ts time.Duration, pkt *packet.Packet) error {
+	return pw.WriteRaw(ts, pkt.Serialize(packet.SerializeOptions{}))
+}
+
+// Attach builds a netem trace hook that captures every send/deliver/
+// inject event on a path into the writer, chaining to prev (which may
+// be nil).
+func Attach(pw *Writer, prev func(netem.TraceEvent)) func(netem.TraceEvent) {
+	return func(ev netem.TraceEvent) {
+		switch ev.Event {
+		case "send", "inject":
+			// Capture at transmission points only, so each datagram
+			// appears once.
+			_ = pw.WritePacket(ev.Time, ev.Pkt)
+		}
+		if prev != nil {
+			prev(ev)
+		}
+	}
+}
+
+// Record is one packet read back from a capture.
+type Record struct {
+	Time time.Duration
+	Data []byte
+}
+
+// Read parses a pcap stream written by this package.
+func Read(r io.Reader) ([]Record, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+		return nil, fmt.Errorf("pcap: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:]); lt != linkTypeRaw {
+		return nil, fmt.Errorf("pcap: unsupported link type %d", lt)
+	}
+	var out []Record
+	for {
+		var rec [16]byte
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("pcap: record header: %w", err)
+		}
+		sec := binary.LittleEndian.Uint32(rec[0:])
+		usec := binary.LittleEndian.Uint32(rec[4:])
+		n := binary.LittleEndian.Uint32(rec[8:])
+		if n > snapLen {
+			return nil, fmt.Errorf("pcap: oversized record %d", n)
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("pcap: record body: %w", err)
+		}
+		out = append(out, Record{
+			Time: time.Duration(sec)*time.Second + time.Duration(usec)*time.Microsecond,
+			Data: data,
+		})
+	}
+}

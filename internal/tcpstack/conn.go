@@ -1,0 +1,531 @@
+package tcpstack
+
+import (
+	"time"
+
+	"intango/internal/packet"
+)
+
+// State is a TCP connection state.
+type State int
+
+// TCP connection states (RFC 793 names).
+const (
+	Closed State = iota
+	SynSent
+	SynRecv
+	Established
+	FinWait1
+	FinWait2
+	CloseWait
+	LastAck
+	Closing
+	TimeWait
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "CLOSED"
+	case SynSent:
+		return "SYN_SENT"
+	case SynRecv:
+		return "SYN_RECV"
+	case Established:
+		return "ESTABLISHED"
+	case FinWait1:
+		return "FIN_WAIT_1"
+	case FinWait2:
+		return "FIN_WAIT_2"
+	case CloseWait:
+		return "CLOSE_WAIT"
+	case LastAck:
+		return "LAST_ACK"
+	case Closing:
+		return "CLOSING"
+	case TimeWait:
+		return "TIME_WAIT"
+	default:
+		return "?"
+	}
+}
+
+// segment is buffered out-of-order data.
+type segment struct {
+	seq  packet.Seq
+	data []byte
+	fin  bool
+}
+
+// outSeg is sent-but-unacknowledged data awaiting acknowledgment.
+type outSeg struct {
+	seq     packet.Seq
+	data    []byte
+	flags   uint8
+	retries int
+}
+
+// Conn is one TCP connection on a Stack.
+type Conn struct {
+	stack *Stack
+	// Local perspective: Src is this stack's address/port.
+	local struct {
+		addr packet.Addr
+		port uint16
+	}
+	remote struct {
+		addr packet.Addr
+		port uint16
+	}
+
+	state State
+
+	iss    packet.Seq
+	sndUna packet.Seq
+	sndNxt packet.Seq
+	rcvNxt packet.Seq
+	rcvWnd int
+
+	tsEnabled   bool
+	tsRecent    uint32
+	hasTSRecent bool
+
+	ooo    []segment // out-of-order receive queue
+	finSeq packet.Seq
+	finAt  bool // peer FIN buffered at finSeq
+
+	retx     []outSeg
+	rtxTimer int // generation counter to invalidate stale timers
+	rto      time.Duration
+
+	// sendBuf stages data awaiting window room; peerWnd is the peer's
+	// last advertised receive window; closePending defers the FIN
+	// until sendBuf drains.
+	sendBuf      []byte
+	peerWnd      int
+	closePending bool
+
+	recvBuf []byte
+
+	// OnData is called with each chunk of newly in-order application
+	// data.
+	OnData func(data []byte)
+	// OnStateChange is called after every state transition.
+	OnStateChange func(from, to State)
+
+	// GotRST records that the connection was torn down by a RST.
+	GotRST bool
+	// AbortReason records why the connection aborted.
+	AbortReason string
+}
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// Received returns all application data received so far.
+func (c *Conn) Received() []byte { return c.recvBuf }
+
+// LocalPort returns the local port.
+func (c *Conn) LocalPort() uint16 { return c.local.port }
+
+// RemoteAddr returns the remote address and port.
+func (c *Conn) RemoteAddr() (packet.Addr, uint16) { return c.remote.addr, c.remote.port }
+
+// SndNxt returns the next sequence number this side will send. Evasion
+// strategies use it to craft insertion packets consistent with the live
+// connection.
+func (c *Conn) SndNxt() packet.Seq { return c.sndNxt }
+
+// RcvNxt returns the next expected peer sequence number.
+func (c *Conn) RcvNxt() packet.Seq { return c.rcvNxt }
+
+// ISS returns the initial send sequence number.
+func (c *Conn) ISS() packet.Seq { return c.iss }
+
+func (c *Conn) view() ConnView {
+	return ConnView{
+		State:       c.state,
+		RcvNxt:      c.rcvNxt,
+		RcvWnd:      c.rcvWnd,
+		SndUna:      c.sndUna,
+		SndNxt:      c.sndNxt,
+		TSRecent:    c.tsRecent,
+		HasTSRecent: c.hasTSRecent,
+		MaxWindow:   c.stack.Profile.WindowSize,
+	}
+}
+
+func (c *Conn) setState(s State) {
+	if c.state == s {
+		return
+	}
+	from := c.state
+	c.state = s
+	if s == TimeWait {
+		c.stack.Sim.At(c.stack.TimeWaitDuration, func() {
+			if c.state == TimeWait {
+				c.abort("")
+				c.AbortReason = "closed"
+			}
+		})
+	}
+	if c.OnStateChange != nil {
+		c.OnStateChange(from, s)
+	}
+}
+
+// tsNow returns the timestamp clock value (milliseconds of virtual
+// time, offset so it is never zero).
+func (c *Conn) tsNow() uint32 {
+	return uint32(c.stack.Sim.Now()/time.Millisecond) + 1000
+}
+
+// buildPacket assembles an outgoing segment for this connection.
+func (c *Conn) buildPacket(flags uint8, seq, ack packet.Seq, payload []byte) *packet.Packet {
+	p := &packet.Packet{
+		IP: packet.IPv4Header{TTL: 64, Protocol: packet.ProtoTCP, Src: c.local.addr, Dst: c.remote.addr},
+		TCP: &packet.TCPHeader{
+			SrcPort: c.local.port, DstPort: c.remote.port,
+			Seq: seq, Ack: ack, Flags: flags,
+			Window: uint16(min(c.rcvWnd, 0xffff)),
+		},
+		Payload: append([]byte(nil), payload...),
+	}
+	if c.tsEnabled && c.stack.Profile.UseTimestamps {
+		p.TCP.Options = append(p.TCP.Options, packet.TimestampOption(c.tsNow(), c.tsRecent))
+	}
+	if flags&packet.FlagSYN != 0 {
+		p.TCP.Options = append(p.TCP.Options, packet.MSSOption(uint16(c.stack.Profile.MSS)))
+	}
+	return p.Finalize()
+}
+
+func (c *Conn) transmit(flags uint8, seq, ack packet.Seq, payload []byte) {
+	c.stack.send(c.buildPacket(flags, seq, ack, payload))
+}
+
+// sendData queues payload for reliable delivery and transmits it.
+func (c *Conn) sendData(flags uint8, payload []byte) {
+	seg := outSeg{seq: c.sndNxt, data: append([]byte(nil), payload...), flags: flags}
+	c.retx = append(c.retx, seg)
+	c.transmit(flags, seg.seq, c.rcvNxt, seg.data)
+	c.sndNxt = c.sndNxt.Add(len(payload))
+	if flags&(packet.FlagSYN|packet.FlagFIN) != 0 {
+		c.sndNxt = c.sndNxt.Add(1)
+	}
+	c.armRetx()
+}
+
+func (c *Conn) armRetx() {
+	if len(c.retx) == 0 {
+		return
+	}
+	c.rtxTimer++
+	gen := c.rtxTimer
+	c.stack.Sim.At(c.rto, func() { c.onRetxTimer(gen) })
+}
+
+func (c *Conn) onRetxTimer(gen int) {
+	if gen != c.rtxTimer || len(c.retx) == 0 || c.state == Closed {
+		return
+	}
+	seg := &c.retx[0]
+	seg.retries++
+	if seg.retries > c.stack.MaxRetries {
+		c.abort("retransmission-limit")
+		return
+	}
+	c.transmit(seg.flags, seg.seq, c.rcvNxt, seg.data)
+	c.rto *= 2
+	c.armRetx()
+}
+
+// Write queues application data for delivery; segments go out at the
+// profile MSS, paced by the peer's advertised receive window.
+func (c *Conn) Write(data []byte) {
+	if c.state != Established && c.state != CloseWait {
+		return
+	}
+	c.sendBuf = append(c.sendBuf, data...)
+	c.pump()
+}
+
+// pump transmits queued data while the peer's window has room, and the
+// deferred FIN once the queue drains.
+func (c *Conn) pump() {
+	mss := c.stack.Profile.MSS
+	for len(c.sendBuf) > 0 {
+		wnd := c.peerWnd
+		if wnd <= 0 {
+			wnd = 1 // zero-window probe
+		}
+		inflight := int(c.sndNxt.Diff(c.sndUna))
+		room := wnd - inflight
+		if room <= 0 {
+			return
+		}
+		n := min(min(len(c.sendBuf), mss), room)
+		c.sendData(packet.FlagPSH|packet.FlagACK, c.sendBuf[:n])
+		c.sendBuf = c.sendBuf[n:]
+	}
+	if c.closePending && len(c.sendBuf) == 0 {
+		c.closePending = false
+		c.sendFIN()
+	}
+}
+
+// Close starts an orderly shutdown; the FIN follows any queued data.
+func (c *Conn) Close() {
+	if c.state != Established && c.state != CloseWait {
+		return
+	}
+	if len(c.sendBuf) > 0 {
+		c.closePending = true
+		return
+	}
+	c.sendFIN()
+}
+
+func (c *Conn) sendFIN() {
+	switch c.state {
+	case Established:
+		c.setState(FinWait1)
+		c.sendData(packet.FlagFIN|packet.FlagACK, nil)
+	case CloseWait:
+		c.setState(LastAck)
+		c.sendData(packet.FlagFIN|packet.FlagACK, nil)
+	}
+}
+
+// Abort resets the connection, notifying the peer.
+func (c *Conn) Abort() {
+	if c.state == Closed {
+		return
+	}
+	c.transmit(packet.FlagRST|packet.FlagACK, c.sndNxt, c.rcvNxt, nil)
+	c.abort("local-abort")
+}
+
+func (c *Conn) abort(reason string) {
+	c.AbortReason = reason
+	c.rtxTimer++ // cancel timers
+	c.retx = nil
+	c.setState(Closed)
+	c.stack.removeConn(c)
+}
+
+func (c *Conn) sendAck() {
+	c.transmit(packet.FlagACK, c.sndNxt, c.rcvNxt, nil)
+}
+
+// handleSegment is the connection's receive path.
+func (c *Conn) handleSegment(pkt *packet.Packet) {
+	d := Classify(c.stack.Profile, c.view(), pkt)
+	c.stack.observe(c, pkt, d)
+	switch d.Verdict {
+	case Ignore:
+		return
+	case IgnoreWithAck:
+		if d.Reason == "syn-retransmit" && c.state == SynRecv {
+			// A retransmitted SYN re-elicits the SYN/ACK.
+			c.transmit(packet.FlagSYN|packet.FlagACK, c.iss, c.rcvNxt, nil)
+			return
+		}
+		c.sendAck()
+		return
+	case AbortConn:
+		c.GotRST = true
+		c.abort("rst: " + d.Reason)
+		return
+	case RespondRST:
+		// RFC 793: RST takes its seq from the offending ack.
+		c.transmit(packet.FlagRST, pkt.TCP.Ack, 0, nil)
+		return
+	}
+	c.accept(pkt)
+}
+
+// accept processes an acceptable segment.
+func (c *Conn) accept(pkt *packet.Packet) {
+	tcp := pkt.TCP
+
+	c.peerWnd = int(tcp.Window)
+
+	// Track the peer's timestamp for PAWS and echoing.
+	if tsval, _, ok := tcp.Timestamps(); ok {
+		if !c.hasTSRecent || int32(tsval-c.tsRecent) >= 0 {
+			c.tsRecent = tsval
+			c.hasTSRecent = true
+		}
+	} else if c.state == SynSent || c.state == SynRecv {
+		// Peer did not negotiate timestamps.
+		if tcp.HasFlag(packet.FlagSYN) {
+			c.tsEnabled = false
+		}
+	}
+
+	switch c.state {
+	case SynSent:
+		// Classify only lets SYN/ACK with a good ack through.
+		c.rcvNxt = tcp.Seq.Add(1)
+		c.ackAdvance(tcp.Ack)
+		c.setState(Established)
+		c.sendAck()
+		return
+	case SynRecv:
+		if tcp.HasFlag(packet.FlagACK) && tcp.Ack == c.sndNxt {
+			c.ackAdvance(tcp.Ack)
+			c.setState(Established)
+		}
+		// Data may ride on the handshake-completing ACK: fall through.
+	}
+
+	if tcp.HasFlag(packet.FlagACK) {
+		c.ackAdvance(tcp.Ack)
+	}
+
+	c.ingestData(pkt)
+}
+
+// ackAdvance retires retransmission state covered by ack.
+func (c *Conn) ackAdvance(ack packet.Seq) {
+	if ack.AtOrBefore(c.sndUna) {
+		return
+	}
+	c.sndUna = ack
+	keep := c.retx[:0]
+	for _, s := range c.retx {
+		end := s.seq.Add(len(s.data))
+		if s.flags&(packet.FlagSYN|packet.FlagFIN) != 0 {
+			end = end.Add(1)
+		}
+		if end.After(ack) {
+			keep = append(keep, s)
+		}
+	}
+	c.retx = keep
+	c.rto = c.stack.InitialRTO
+	c.rtxTimer++
+	c.armRetx()
+	c.pump()
+	// Progress the closing handshake.
+	switch c.state {
+	case FinWait1:
+		if c.sndUna == c.sndNxt {
+			c.setState(FinWait2)
+		}
+	case LastAck:
+		if c.sndUna == c.sndNxt {
+			c.abort("")
+			c.AbortReason = "closed"
+		}
+	case Closing:
+		if c.sndUna == c.sndNxt {
+			c.setState(TimeWait)
+		}
+	}
+}
+
+// ingestData runs reassembly on the segment's payload and FIN.
+func (c *Conn) ingestData(pkt *packet.Packet) {
+	tcp := pkt.TCP
+	segLen := len(pkt.Payload)
+	fin := tcp.HasFlag(packet.FlagFIN)
+	if segLen == 0 && !fin {
+		return
+	}
+	seq := tcp.Seq
+	end := seq.Add(segLen)
+
+	// Entirely old data: duplicate ACK.
+	if end.AtOrBefore(c.rcvNxt) && !(fin && end == c.rcvNxt) {
+		c.sendAck()
+		return
+	}
+	// Entirely beyond the window: duplicate ACK (this is the path an
+	// out-of-window desynchronization packet takes on a real server).
+	if seq.AtOrAfter(c.rcvNxt.Add(c.rcvWnd)) {
+		c.sendAck()
+		return
+	}
+
+	if segLen > 0 {
+		c.enqueue(segment{seq: seq, data: append([]byte(nil), pkt.Payload...)})
+	}
+	if fin {
+		c.finAt = true
+		c.finSeq = end
+	}
+	c.drain()
+	c.sendAck()
+}
+
+// enqueue inserts a segment into the out-of-order queue honoring the
+// profile's overlap policy.
+func (c *Conn) enqueue(seg segment) {
+	if c.stack.Profile.SegmentOverlap == packet.FirstWins {
+		c.ooo = append(c.ooo, seg)
+		return
+	}
+	// LastWins: newest data overwrites; implement by prepending so the
+	// drain pass reads newest first... drain applies first-match, so
+	// order the queue newest-first.
+	c.ooo = append([]segment{seg}, c.ooo...)
+}
+
+// drain moves contiguous data from the out-of-order queue into the
+// receive buffer.
+func (c *Conn) drain() {
+	progress := true
+	for progress {
+		progress = false
+		for i := range c.ooo {
+			s := c.ooo[i]
+			segEnd := s.seq.Add(len(s.data))
+			if segEnd.AtOrBefore(c.rcvNxt) {
+				// Fully consumed; remove.
+				c.ooo = append(c.ooo[:i], c.ooo[i+1:]...)
+				progress = true
+				break
+			}
+			if s.seq.AtOrBefore(c.rcvNxt) {
+				// Overlaps the edge: take the new part.
+				skip := int(c.rcvNxt.Diff(s.seq))
+				chunk := s.data[skip:]
+				c.recvBuf = append(c.recvBuf, chunk...)
+				c.rcvNxt = c.rcvNxt.Add(len(chunk))
+				c.ooo = append(c.ooo[:i], c.ooo[i+1:]...)
+				if c.OnData != nil {
+					c.OnData(chunk)
+				}
+				progress = true
+				break
+			}
+		}
+	}
+	if c.finAt && c.finSeq == c.rcvNxt {
+		c.finAt = false
+		c.rcvNxt = c.rcvNxt.Add(1)
+		c.peerFin()
+	}
+}
+
+// peerFin handles an in-order FIN from the peer.
+func (c *Conn) peerFin() {
+	switch c.state {
+	case SynRecv, Established:
+		c.setState(CloseWait)
+	case FinWait1:
+		c.setState(Closing)
+	case FinWait2:
+		c.setState(TimeWait)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,212 @@
+package tcpstack
+
+import (
+	"intango/internal/packet"
+)
+
+// Verdict is what a stack decides to do with an arriving segment before
+// any state is updated.
+type Verdict int
+
+const (
+	// Accept processes the segment normally.
+	Accept Verdict = iota
+	// Ignore silently drops the segment; connection state is untouched.
+	Ignore
+	// IgnoreWithAck drops the segment but emits a duplicate/challenge
+	// ACK; connection state is untouched.
+	IgnoreWithAck
+	// AbortConn is a valid RST: the connection is torn down.
+	AbortConn
+	// RespondRST rejects the segment with an outgoing RST without
+	// touching an established connection (e.g. an ACK to LISTEN).
+	RespondRST
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Accept:
+		return "accept"
+	case Ignore:
+		return "ignore"
+	case IgnoreWithAck:
+		return "ignore+ack"
+	case AbortConn:
+		return "abort"
+	case RespondRST:
+		return "respond-rst"
+	default:
+		return "?"
+	}
+}
+
+// Disposition is a verdict plus the first reason that produced it — the
+// "ignore path" taken, in the paper's terminology.
+type Disposition struct {
+	Verdict Verdict
+	Reason  string
+}
+
+// ConnView is the connection state a disposition decision depends on.
+// It is a plain value so internal/ignorepath can evaluate dispositions
+// without a live connection.
+type ConnView struct {
+	State       State
+	RcvNxt      packet.Seq
+	RcvWnd      int
+	SndUna      packet.Seq
+	SndNxt      packet.Seq
+	TSRecent    uint32
+	HasTSRecent bool
+	// MaxWindow bounds how old an acceptable ACK may be.
+	MaxWindow int
+}
+
+// actualIPLength computes the IP total length that honestly describes
+// pkt's contents.
+func actualIPLength(pkt *packet.Packet) int {
+	n := pkt.IP.HeaderLen() + len(pkt.Payload)
+	if pkt.TCP != nil {
+		n += pkt.TCP.HeaderLen()
+	}
+	return n
+}
+
+// Classify runs the profile's ignore-path analysis for a TCP segment
+// arriving on a connection in the given state. It is the executable
+// form of Table 3 (plus the baseline RFC 793/5961 rules) and is used
+// both by live connections and by the ignorepath enumerator.
+func Classify(prof Profile, view ConnView, pkt *packet.Packet) Disposition {
+	tcp := pkt.TCP
+
+	// Header-level checks apply in every state (Table 3 rows 1-3).
+	if prof.ValidatesIPLength && int(pkt.IP.TotalLength) > actualIPLength(pkt) {
+		return Disposition{Ignore, "ip-total-length-exceeds-actual"}
+	}
+	if tcp.RawDataOffset != 0 && tcp.RawDataOffset < 5 {
+		return Disposition{Ignore, "tcp-header-length-under-20"}
+	}
+	if prof.ValidatesChecksum && !tcp.VerifyChecksum(pkt.IP.Src, pkt.IP.Dst, pkt.Payload) {
+		return Disposition{Ignore, "tcp-checksum-incorrect"}
+	}
+	if prof.ValidatesMD5 && tcp.HasMD5() {
+		// TCP-MD5 was never negotiated on any connection in this model,
+		// so the option is always unsolicited.
+		return Disposition{Ignore, "unsolicited-md5-option"}
+	}
+
+	switch view.State {
+	case SynSent:
+		return classifySynSent(view, pkt)
+	case SynRecv, Established, FinWait1, FinWait2, CloseWait, Closing, LastAck:
+		return classifySynchronized(prof, view, pkt)
+	default:
+		return Disposition{Ignore, "closed"}
+	}
+}
+
+func classifySynSent(view ConnView, pkt *packet.Packet) Disposition {
+	tcp := pkt.TCP
+	ackOK := tcp.HasFlag(packet.FlagACK) && tcp.Ack == view.SndNxt
+	switch {
+	case tcp.HasFlag(packet.FlagRST):
+		if ackOK {
+			return Disposition{AbortConn, "rst-in-syn-sent"}
+		}
+		return Disposition{Ignore, "rst-bad-ack-in-syn-sent"}
+	case tcp.HasFlag(packet.FlagSYN) && tcp.HasFlag(packet.FlagACK):
+		if !ackOK {
+			// RFC 793: unacceptable ACK in SYN-SENT draws a RST.
+			return Disposition{RespondRST, "synack-bad-ack"}
+		}
+		return Disposition{Accept, "synack"}
+	case tcp.HasFlag(packet.FlagACK) && !ackOK:
+		return Disposition{RespondRST, "ack-bad-in-syn-sent"}
+	default:
+		return Disposition{Ignore, "unexpected-in-syn-sent"}
+	}
+}
+
+func classifySynchronized(prof Profile, view ConnView, pkt *packet.Packet) Disposition {
+	tcp := pkt.TCP
+
+	if tcp.HasFlag(packet.FlagRST) {
+		// Table 3 row 4: in SYN_RECV a RST/ACK with a wrong
+		// acknowledgment number is ignored.
+		if view.State == SynRecv && tcp.HasFlag(packet.FlagACK) && tcp.Ack != view.SndNxt {
+			return Disposition{Ignore, "rstack-bad-ack-in-syn-recv"}
+		}
+		switch prof.RSTValidation {
+		case RSTExactSeq:
+			if tcp.Seq == view.RcvNxt {
+				return Disposition{AbortConn, "rst-exact-seq"}
+			}
+			if tcp.Seq.InWindow(view.RcvNxt, view.RcvWnd) {
+				return Disposition{IgnoreWithAck, "rst-in-window-challenge-ack"}
+			}
+			return Disposition{Ignore, "rst-out-of-window"}
+		default: // RSTInWindow
+			if tcp.Seq.InWindow(view.RcvNxt, view.RcvWnd) || tcp.Seq == view.RcvNxt {
+				return Disposition{AbortConn, "rst-in-window"}
+			}
+			return Disposition{Ignore, "rst-out-of-window"}
+		}
+	}
+
+	if tcp.HasFlag(packet.FlagSYN) {
+		if view.State == SynRecv {
+			// A retransmitted SYN: re-ACK it.
+			return Disposition{IgnoreWithAck, "syn-retransmit"}
+		}
+		switch prof.SYNInEstablished {
+		case SYNChallengeACK:
+			return Disposition{IgnoreWithAck, "syn-challenge-ack"}
+		case SYNIgnore:
+			return Disposition{Ignore, "syn-ignored"}
+		default: // SYNResetInWindow
+			if tcp.Seq.InWindow(view.RcvNxt, view.RcvWnd) {
+				return Disposition{AbortConn, "syn-in-window-reset"}
+			}
+			return Disposition{Ignore, "syn-out-of-window"}
+		}
+	}
+
+	// Table 3 rows 7-8: packets without the ACK bit (flagless, or
+	// FIN-only) are ignored by stacks that require it. Stacks that do
+	// not (Linux 2.6.34 / 2.4.37, §5.3) fall through and process them.
+	if !tcp.HasFlag(packet.FlagACK) && prof.RequiresACKFlag {
+		if tcp.Flags == 0 {
+			return Disposition{Ignore, "no-tcp-flags"}
+		}
+		return Disposition{Ignore, "missing-ack-flag"}
+	}
+
+	// Table 3 row 9: PAWS — a timestamp older than the latest seen.
+	if prof.PAWS && view.HasTSRecent {
+		if tsval, _, ok := tcp.Timestamps(); ok {
+			if int32(tsval-view.TSRecent) < 0 {
+				return Disposition{IgnoreWithAck, "timestamp-too-old"}
+			}
+		}
+	}
+
+	// Table 3 row 5: acknowledgment-number validation.
+	if prof.ValidatesAckNumber && tcp.HasFlag(packet.FlagACK) {
+		if tcp.Ack.After(view.SndNxt) {
+			if view.State == SynRecv {
+				return Disposition{Ignore, "ack-for-unsent-data"}
+			}
+			return Disposition{IgnoreWithAck, "ack-for-unsent-data"}
+		}
+		maxWnd := view.MaxWindow
+		if maxWnd <= 0 {
+			maxWnd = 1 << 20
+		}
+		if tcp.Ack.Before(view.SndUna.Add(-maxWnd)) {
+			return Disposition{Ignore, "ack-too-old"}
+		}
+	}
+
+	return Disposition{Accept, "acceptable"}
+}

@@ -1,0 +1,271 @@
+package tcpstack
+
+import (
+	"time"
+
+	"intango/internal/netem"
+	"intango/internal/packet"
+)
+
+// connKey identifies a connection from the local stack's perspective.
+type connKey struct {
+	localPort  uint16
+	remoteAddr packet.Addr
+	remotePort uint16
+}
+
+// Acceptor is called when a listener accepts a new connection, before
+// the SYN/ACK is sent, so the application can install callbacks.
+type Acceptor func(c *Conn)
+
+// UDPHandler receives UDP datagrams addressed to a bound port.
+type UDPHandler func(src packet.Addr, srcPort uint16, payload []byte)
+
+// ObserveFunc, when set on a Stack, sees every (segment, disposition)
+// pair its connections classify — the hook the ignore-path analysis and
+// tests use.
+type ObserveFunc func(c *Conn, pkt *packet.Packet, d Disposition)
+
+// Stack is a host's TCP/IP endpoint: an address, a version Profile, a
+// connection table, listeners, and a transmit function bound to a
+// netem path.
+type Stack struct {
+	Addr    packet.Addr
+	Profile Profile
+	Sim     *netem.Simulator
+
+	// Send transmits a packet into the network. Bind it with
+	// AttachClient/AttachServer or set it directly.
+	Send func(pkt *packet.Packet)
+
+	// InitialRTO and MaxRetries control retransmission.
+	InitialRTO time.Duration
+	MaxRetries int
+	// TimeWaitDuration is how long TIME_WAIT lingers before the
+	// connection entry is reclaimed.
+	TimeWaitDuration time.Duration
+
+	// Observe, when set, sees every classified segment.
+	Observe ObserveFunc
+
+	conns     map[connKey]*Conn
+	listeners map[uint16]Acceptor
+	udp       map[uint16]UDPHandler
+	nextPort  uint16
+	frag      *packet.Reassembler
+}
+
+// NewStack creates a stack for addr with the given profile.
+func NewStack(addr packet.Addr, profile Profile, sim *netem.Simulator) *Stack {
+	return &Stack{
+		Addr:             addr,
+		Profile:          profile,
+		Sim:              sim,
+		InitialRTO:       200 * time.Millisecond,
+		MaxRetries:       6,
+		TimeWaitDuration: 500 * time.Millisecond,
+		conns:            make(map[connKey]*Conn),
+		listeners:        make(map[uint16]Acceptor),
+		udp:              make(map[uint16]UDPHandler),
+		nextPort:         32768,
+		// Hosts resolve overlapping fragments in favour of the newest
+		// copy — the behaviour the out-of-order IP-fragment evasion of
+		// §3.2 relies on at the server.
+		frag: packet.NewReassembler(packet.LastWins),
+	}
+}
+
+// AttachClient wires the stack to the client end of a path.
+func (s *Stack) AttachClient(p *netem.Path) {
+	p.Client = s
+	s.Send = p.SendFromClient
+}
+
+// AttachServer wires the stack to the server end of a path.
+func (s *Stack) AttachServer(p *netem.Path) {
+	p.Server = s
+	s.Send = p.SendFromServer
+}
+
+func (s *Stack) send(pkt *packet.Packet) {
+	if s.Send != nil {
+		s.Send(pkt)
+	}
+}
+
+func (s *Stack) observe(c *Conn, pkt *packet.Packet, d Disposition) {
+	if s.Observe != nil {
+		s.Observe(c, pkt, d)
+	}
+}
+
+// Listen registers an acceptor for a TCP port.
+func (s *Stack) Listen(port uint16, accept Acceptor) {
+	s.listeners[port] = accept
+}
+
+// ListenUDP registers a handler for a UDP port.
+func (s *Stack) ListenUDP(port uint16, h UDPHandler) {
+	s.udp[port] = h
+}
+
+// SendUDP transmits a UDP datagram.
+func (s *Stack) SendUDP(srcPort uint16, dst packet.Addr, dstPort uint16, payload []byte) {
+	s.send(packet.NewUDP(s.Addr, srcPort, dst, dstPort, payload))
+}
+
+// AllocPort returns a fresh ephemeral port.
+func (s *Stack) AllocPort() uint16 {
+	p := s.nextPort
+	s.nextPort++
+	if s.nextPort == 0 {
+		s.nextPort = 32768
+	}
+	return p
+}
+
+// Connect opens a connection to raddr:rport and sends the SYN.
+func (s *Stack) Connect(raddr packet.Addr, rport uint16) *Conn {
+	return s.ConnectFrom(s.AllocPort(), raddr, rport)
+}
+
+// ConnectFrom opens a connection from a specific local port.
+func (s *Stack) ConnectFrom(lport uint16, raddr packet.Addr, rport uint16) *Conn {
+	c := s.newConn(lport, raddr, rport)
+	c.iss = packet.Seq(s.Sim.Rand().Uint32())
+	c.sndUna = c.iss
+	c.sndNxt = c.iss
+	c.tsEnabled = s.Profile.UseTimestamps
+	c.setState(SynSent)
+	c.sendData(packet.FlagSYN, nil)
+	return c
+}
+
+func (s *Stack) newConn(lport uint16, raddr packet.Addr, rport uint16) *Conn {
+	c := &Conn{stack: s, rto: s.InitialRTO, rcvWnd: s.Profile.WindowSize}
+	c.local.addr, c.local.port = s.Addr, lport
+	c.remote.addr, c.remote.port = raddr, rport
+	s.conns[connKey{lport, raddr, rport}] = c
+	return c
+}
+
+func (s *Stack) removeConn(c *Conn) {
+	delete(s.conns, connKey{c.local.port, c.remote.addr, c.remote.port})
+}
+
+// Conn returns the live connection matching the tuple, if any.
+func (s *Stack) Conn(lport uint16, raddr packet.Addr, rport uint16) (*Conn, bool) {
+	c, ok := s.conns[connKey{lport, raddr, rport}]
+	return c, ok
+}
+
+// Deliver implements netem.Endpoint: the stack's receive path.
+func (s *Stack) Deliver(pkt *packet.Packet) {
+	if pkt.IP.IsFragment() {
+		whole, err := s.frag.Add(pkt)
+		if err != nil || whole == nil {
+			return
+		}
+		pkt = whole
+	}
+	switch {
+	case pkt.TCP != nil:
+		s.deliverTCP(pkt)
+	case pkt.UDP != nil:
+		if h, ok := s.udp[pkt.UDP.DstPort]; ok {
+			h(pkt.IP.Src, pkt.UDP.SrcPort, pkt.Payload)
+		}
+	default:
+		// ICMP and raw IP are dropped; interested parties (INTANG's
+		// hop-count prober) interpose on the path, not the stack.
+	}
+}
+
+func (s *Stack) deliverTCP(pkt *packet.Packet) {
+	key := connKey{pkt.TCP.DstPort, pkt.IP.Src, pkt.TCP.SrcPort}
+	if c, ok := s.conns[key]; ok {
+		c.handleSegment(pkt)
+		return
+	}
+	// No connection: maybe a listener.
+	if accept, ok := s.listeners[pkt.TCP.DstPort]; ok {
+		s.listenSegment(pkt, accept)
+		return
+	}
+	// Closed port: RST any non-RST segment (RFC 793).
+	if !pkt.TCP.HasFlag(packet.FlagRST) {
+		s.respondRST(pkt)
+	}
+}
+
+// listenSegment applies LISTEN-state rules.
+func (s *Stack) listenSegment(pkt *packet.Packet, accept Acceptor) {
+	tcp := pkt.TCP
+	// Header-level ignore paths still apply in LISTEN.
+	if s.Profile.ValidatesIPLength && int(pkt.IP.TotalLength) > actualIPLength(pkt) {
+		return
+	}
+	if tcp.RawDataOffset != 0 && tcp.RawDataOffset < 5 {
+		return
+	}
+	if s.Profile.ValidatesChecksum && !tcp.VerifyChecksum(pkt.IP.Src, pkt.IP.Dst, pkt.Payload) {
+		return
+	}
+	if s.Profile.ValidatesMD5 && tcp.HasMD5() {
+		return
+	}
+	switch {
+	case tcp.HasFlag(packet.FlagRST):
+		return
+	case tcp.HasFlag(packet.FlagACK):
+		// Includes the SYN/ACK a TCB-Reversal client sends: the server
+		// answers with a RST (§5.2), seq taken from the ack field.
+		s.respondRST(pkt)
+		return
+	case tcp.HasFlag(packet.FlagSYN):
+		c := s.newConn(tcp.DstPort, pkt.IP.Src, tcp.SrcPort)
+		c.iss = packet.Seq(s.Sim.Rand().Uint32())
+		c.sndUna = c.iss
+		c.sndNxt = c.iss
+		c.rcvNxt = tcp.Seq.Add(1)
+		_, _, hasTS := tcp.Timestamps()
+		c.tsEnabled = hasTS && s.Profile.UseTimestamps
+		if tsval, _, ok := tcp.Timestamps(); ok {
+			c.tsRecent = tsval
+			c.hasTSRecent = true
+		}
+		c.setState(SynRecv)
+		accept(c)
+		c.sendData(packet.FlagSYN|packet.FlagACK, nil)
+	}
+}
+
+// respondRST sends the RFC 793 reset for an orphan segment.
+func (s *Stack) respondRST(pkt *packet.Packet) {
+	tcp := pkt.TCP
+	rst := &packet.Packet{
+		IP: packet.IPv4Header{TTL: 64, Protocol: packet.ProtoTCP, Src: s.Addr, Dst: pkt.IP.Src},
+		TCP: &packet.TCPHeader{
+			SrcPort: tcp.DstPort, DstPort: tcp.SrcPort,
+		},
+	}
+	if tcp.HasFlag(packet.FlagACK) {
+		rst.TCP.Flags = packet.FlagRST
+		rst.TCP.Seq = tcp.Ack
+	} else {
+		rst.TCP.Flags = packet.FlagRST | packet.FlagACK
+		rst.TCP.Ack = tcp.Seq.Add(pktSegLen(pkt))
+	}
+	s.send(rst.Finalize())
+}
+
+func pktSegLen(pkt *packet.Packet) int {
+	n := len(pkt.Payload)
+	if pkt.TCP.HasFlag(packet.FlagSYN) {
+		n++
+	}
+	if pkt.TCP.HasFlag(packet.FlagFIN) {
+		n++
+	}
+	return n
+}
