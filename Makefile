@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build vet test race bench-obs
+
+# check is the full gate: build, vet, tests, then tests under the race
+# detector (the observability merge paths are the interesting part).
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-obs measures the instrumentation tax: "disabled" must match the
+# pre-observability baseline, "enabled" should stay within a few percent.
+bench-obs:
+	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 2s ./internal/experiment/

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	intang [-strategy name|auto] [-keyword word] [-trials n] [-trace] [-list]
+//	intang [-strategy name|auto] [-keyword word] [-trials n] [-trace] [-stats] [-list]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"intango/internal/gfw"
 	"intango/internal/intang"
 	"intango/internal/netem"
+	"intango/internal/obs"
 	"intango/internal/packet"
 	"intango/internal/pcap"
 	"intango/internal/tcpstack"
@@ -31,6 +32,7 @@ func main() {
 		trials   = flag.Int("trials", 5, "number of sensitive fetches")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		trace    = flag.Bool("trace", false, "print the packet-level trace of the first trial")
+		stats    = flag.Bool("stats", false, "print observability counters at exit")
 		pcapOut  = flag.String("pcap", "", "write a pcap capture of all traffic to this file")
 		list     = flag.Bool("list", false, "list available strategies and exit")
 	)
@@ -91,6 +93,19 @@ func main() {
 		engine.NewStrategy = func(packet.FourTuple) core.Strategy { return factory() }
 	}
 
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
+		bundle := obs.New(reg, obs.NewRecorder(obs.DefaultRingSize, sim.Now))
+		path.Obs = bundle
+		dev.Obs = bundle
+		cli.Obs = bundle
+		srv.Obs = bundle
+		if it != nil {
+			it.Obs = bundle
+		}
+	}
+
 	var traceFn func(ev netem.TraceEvent)
 	if *trace {
 		traceFn = func(ev netem.TraceEvent) {
@@ -149,4 +164,9 @@ func main() {
 		traceFn = nil // print-trace only the first trial; keep capturing
 	}
 	fmt.Printf("\n%d/%d sensitive fetches evaded the GFW\n", success, *trials)
+	if *stats {
+		path.FlushCounters()
+		fmt.Println("\n== observability counters ==")
+		reg.Snapshot().WriteText(os.Stdout)
+	}
 }

@@ -3,24 +3,30 @@
 //
 // Usage:
 //
-//	tables -what all|1|2|3|4|5|6|tor|vpn|figures [-scale quick|mid|paper] [-seed n]
+//	tables -what all|1|2|3|4|5|6|tor|vpn|obs|figures [-scale quick|mid|paper] [-seed n]
 //
 // The paper scale (11 VPs × 77 websites × 50 trials) is faithful but
-// slow; quick reproduces the shapes in seconds.
+// slow; quick reproduces the shapes in seconds. -what obs reruns the
+// Table 1 campaign with the observability layer attached and dumps
+// counters (text and JSON), throughput aggregates, and the flight
+// recorder of one failing trial.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"intango/internal/core"
 	"intango/internal/experiment"
 	"intango/internal/ignorepath"
+	"intango/internal/obs"
 )
 
 func main() {
 	var (
-		what  = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,figures")
+		what  = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,obs,figures")
 		scale = flag.String("scale", "quick", "campaign scale: quick, mid, paper")
 		seed  = flag.Int64("seed", 42, "population/campaign seed")
 	)
@@ -128,6 +134,46 @@ func main() {
 			counts := r.DiagnoseCampaign(strat, vps, servers, sc.Trials)
 			fmt.Print(experiment.FormatDiagnosis(strat, counts))
 		}
+		fmt.Println("example controlled re-run (flight-recorder divergence per factor):")
+		factory := core.BuiltinFactories()["teardown-rst/ttl"]
+	example:
+		for _, vp := range vps {
+			for _, srv := range servers {
+				if r.RunOne(vp, srv, factory, true, 0) != experiment.Success {
+					fmt.Print(experiment.FormatDiagnosisDetail(r.Diagnose(vp, srv, "teardown-rst/ttl", 0)))
+					break example
+				}
+			}
+		}
+		fmt.Println()
+	}
+	// Strict equality: the obs rerun duplicates Table 1, so "-what all"
+	// must not pick it up.
+	if *what == "obs" {
+		ran = true
+		r.Obs = experiment.NewObsSink()
+		start := time.Now()
+		rows := experiment.RunTable1Parallel(r, sc)
+		wall := time.Since(start)
+		fmt.Printf("== Table 1 under observation (%d VPs × %d servers × %d trials) ==\n", sc.VPs, sc.Servers, sc.Trials)
+		fmt.Print(experiment.FormatTable1(rows))
+		fmt.Println()
+		snap := r.Obs.Snapshot()
+		fmt.Println("== observability: counters ==")
+		snap.WriteText(os.Stdout)
+		fmt.Println()
+		fmt.Println("== observability: counters (JSON) ==")
+		snap.WriteJSON(os.Stdout)
+		fmt.Println("== observability: campaign aggregate ==")
+		fmt.Println(r.Obs.Aggregate(wall).String())
+		if fails := r.Obs.Failures(); len(fails) > 0 {
+			f := fails[0]
+			fmt.Println()
+			fmt.Printf("== observability: flight recorder of one failing trial ==\n")
+			fmt.Printf("%s vs %s via %s, trial %d: %s (%d earlier events evicted from the ring)\n",
+				f.VP, f.Server, f.Strategy, f.Trial, f.Outcome, f.Dropped)
+			fmt.Print(obs.FormatEvents(f.Events))
+		}
 		fmt.Println()
 	}
 	if want("figures") {
@@ -138,7 +184,7 @@ func main() {
 		fmt.Println(experiment.Figure4(r))
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,figures\n", *what)
+		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,obs,figures\n", *what)
 		os.Exit(2)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"intango/internal/core"
 	"intango/internal/middlebox"
+	"intango/internal/obs"
 	"intango/internal/tcpstack"
 )
 
@@ -60,6 +61,11 @@ type Attribution struct {
 	Outcome Outcome
 	// Explains: removing the factor alone flips the trial to success.
 	Explains bool
+	// FirstDivergence is the first flight-recorder event at which the
+	// controlled re-run departs from the baseline trial's trace — the
+	// mechanism, not just the fact, of the factor's influence. Empty
+	// when both traces agree event-for-event.
+	FirstDivergence string
 }
 
 // Diagnosis is the full controlled-experiment result for one failing
@@ -67,7 +73,9 @@ type Attribution struct {
 type Diagnosis struct {
 	VP, Server, Strategy string
 	Baseline             Outcome
-	Attributions         []Attribution
+	// BaselineTrace is the failing trial's flight-recorder snapshot.
+	BaselineTrace []obs.Event
+	Attributions  []Attribution
 	// Residual: no single factor explains the failure (interaction or
 	// inherent strategy weakness).
 	Residual bool
@@ -78,7 +86,7 @@ type Diagnosis struct {
 func (r *Runner) Diagnose(vp VantagePoint, srv Server, strategyName string, trial int) Diagnosis {
 	factory := core.BuiltinFactories()[strategyName]
 	diag := Diagnosis{VP: vp.Name, Server: srv.Name, Strategy: strategyName}
-	diag.Baseline = r.RunOne(vp, srv, factory, true, trial)
+	diag.Baseline, diag.BaselineTrace = r.RunOneTraced(vp, srv, factory, true, trial)
 	if diag.Baseline == Success {
 		return diag
 	}
@@ -87,8 +95,11 @@ func (r *Runner) Diagnose(vp VantagePoint, srv Server, strategyName string, tria
 		vpCopy, srvCopy, calCopy := vp, srv, r.Cal
 		f.apply(&vpCopy, &srvCopy, &calCopy)
 		sub := &Runner{Cal: calCopy, Seed: r.Seed}
-		out := sub.RunOne(vpCopy, srvCopy, factory, true, trial)
-		att := Attribution{Factor: f.Name, Outcome: out, Explains: out == Success}
+		out, trace := sub.RunOneTraced(vpCopy, srvCopy, factory, true, trial)
+		att := Attribution{
+			Factor: f.Name, Outcome: out, Explains: out == Success,
+			FirstDivergence: firstDivergence(diag.BaselineTrace, trace),
+		}
 		if att.Explains {
 			anyExplains = true
 		}
@@ -124,6 +135,52 @@ func (r *Runner) DiagnoseCampaign(strategyName string, vps []VantagePoint, serve
 		}
 	}
 	return counts
+}
+
+// firstDivergence reports where the controlled re-run's trace first
+// departs from the baseline's, comparing the retained windows of both
+// rings position by position. Both runs are deterministic, so the
+// first differing event is exactly where the removed factor began to
+// matter. Empty means the traces agree event-for-event.
+func firstDivergence(base, alt []obs.Event) string {
+	n := len(base)
+	if len(alt) < n {
+		n = len(alt)
+	}
+	for i := 0; i < n; i++ {
+		if base[i] != alt[i] {
+			return fmt.Sprintf("#%d %s (baseline: %s)", i, alt[i], base[i])
+		}
+	}
+	switch {
+	case len(alt) > n:
+		return fmt.Sprintf("#%d %s (baseline trace ends)", n, alt[n])
+	case len(base) > n:
+		return fmt.Sprintf("#%d trace ends (baseline: %s)", n, base[n])
+	}
+	return ""
+}
+
+// FormatDiagnosisDetail renders one trial's diagnosis including where
+// each factor's controlled re-run diverged from the baseline trace.
+func FormatDiagnosisDetail(d Diagnosis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s via %s against %s: baseline %s\n", d.VP, d.Strategy, d.Server, d.Baseline)
+	for _, att := range d.Attributions {
+		marker := " "
+		if att.Explains {
+			marker = "*"
+		}
+		fmt.Fprintf(&b, " %s -%-26s -> %-9s", marker, att.Factor, att.Outcome)
+		if att.FirstDivergence != "" {
+			fmt.Fprintf(&b, " diverges at %s", att.FirstDivergence)
+		}
+		b.WriteByte('\n')
+	}
+	if d.Residual {
+		b.WriteString("   no single factor explains the failure\n")
+	}
+	return b.String()
 }
 
 // FormatDiagnosis renders a campaign's factor attribution.

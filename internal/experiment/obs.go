@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"sort"
+	"time"
+
+	"intango/internal/obs"
+)
+
+// DefaultMaxFailures is how many failing-trial flight-recorder traces a
+// sink retains by default.
+const DefaultMaxFailures = 4
+
+// ObsSink accumulates observability output across a batch of trials: a
+// counter registry shared by every instrumented subsystem, per-trial
+// event volumes for the campaign aggregate, and the flight-recorder
+// traces of a bounded, deterministically chosen set of failing trials.
+//
+// Parallel runs give each worker its own shard (see shard/merge);
+// because counter merging is addition and failure retention is
+// minimum-N by a total trial order, the merged sink is bit-identical to
+// a serial run over the same jobs.
+type ObsSink struct {
+	// Registry receives every counter increment from the attached
+	// subsystems plus the sink's own trials.* outcome counters.
+	Registry *obs.Registry
+	// MaxFailures bounds retained failure traces (<=0 keeps none).
+	MaxFailures int
+
+	trials         int
+	eventsPerTrial []int
+	failures       []TrialTrace
+}
+
+// TrialTrace is the flight-recorder snapshot of one failing trial,
+// keyed by the parameters that uniquely identify the trial.
+type TrialTrace struct {
+	Strategy  string
+	VP        string
+	Server    string
+	Sensitive bool
+	Trial     int
+	Outcome   Outcome
+	// Dropped counts ring-evicted events preceding Events.
+	Dropped uint64
+	Events  []obs.Event
+}
+
+// NewObsSink returns an empty sink with a fresh registry.
+func NewObsSink() *ObsSink {
+	return &ObsSink{Registry: obs.NewRegistry(), MaxFailures: DefaultMaxFailures}
+}
+
+// shard returns an empty sink sharing no state with s. RunParallel
+// hands one to each worker so the trial hot path never contends on a
+// lock, then folds them back with merge after the barrier.
+func (s *ObsSink) shard() *ObsSink {
+	return &ObsSink{Registry: obs.NewRegistry(), MaxFailures: s.MaxFailures}
+}
+
+// merge folds a worker shard into s. Counter merge is addition, so any
+// merge order yields the same totals.
+func (s *ObsSink) merge(sh *ObsSink) {
+	if sh == nil {
+		return
+	}
+	s.Registry.Merge(sh.Registry)
+	s.trials += sh.trials
+	s.eventsPerTrial = append(s.eventsPerTrial, sh.eventsPerTrial...)
+	s.failures = append(s.failures, sh.failures...)
+	s.compact()
+}
+
+// absorb records one finished trial: the simulator's event count, the
+// outcome, the flight-recorder volume, and — on failure — the trace.
+func (s *ObsSink) absorb(rg *rig, label, vp, srv string, sensitive bool, trial int, out Outcome, rec *obs.Recorder) {
+	rg.path.FlushCounters()
+	s.Registry.Add("netem.events", rg.sim.Steps())
+	s.Registry.Inc("trials.total")
+	s.Registry.Inc("trials." + out.String())
+	s.trials++
+	s.eventsPerTrial = append(s.eventsPerTrial, int(rec.Total()))
+	if out != Success {
+		s.failures = append(s.failures, TrialTrace{
+			Strategy: label, VP: vp, Server: srv,
+			Sensitive: sensitive, Trial: trial, Outcome: out,
+			Dropped: rec.Dropped(), Events: rec.Events(),
+		})
+		s.compact()
+	}
+}
+
+// absorbSeries records a whole RunINTANGSeries simulation: one shared
+// rig, many trials. Traces are not retained (the single ring spans all
+// trials), only counters and throughput.
+func (s *ObsSink) absorbSeries(rg *rig, outcomes []Outcome) {
+	rg.path.FlushCounters()
+	s.Registry.Add("netem.events", rg.sim.Steps())
+	for _, out := range outcomes {
+		s.Registry.Inc("trials.total")
+		s.Registry.Inc("trials." + out.String())
+		s.trials++
+	}
+}
+
+// compact bounds the failure slice without breaking determinism: once
+// it doubles past MaxFailures, sort by the trial key and keep the
+// smallest MaxFailures. An element is only ever dropped when
+// MaxFailures smaller-keyed elements are already retained, so the
+// per-shard minimum-N set survives every compaction — and the global
+// minimum-N set is always contained in the union of shard minimum-N
+// sets, which is what makes serial and parallel retention identical.
+func (s *ObsSink) compact() {
+	if s.MaxFailures <= 0 {
+		s.failures = nil
+		return
+	}
+	if len(s.failures) <= 2*s.MaxFailures {
+		return
+	}
+	sortTraces(s.failures)
+	s.failures = s.failures[:s.MaxFailures:s.MaxFailures]
+}
+
+// Finish puts the retained failures in their final deterministic order
+// and applies the retention bound. RunParallel calls it after merging;
+// serial users call it before reading Failures.
+func (s *ObsSink) Finish() {
+	sortTraces(s.failures)
+	if s.MaxFailures > 0 && len(s.failures) > s.MaxFailures {
+		s.failures = s.failures[:s.MaxFailures:s.MaxFailures]
+	}
+}
+
+// sortTraces orders by (Strategy, VP, Server, Sensitive, Trial) — a
+// total order over trial identities, so ties are impossible.
+func sortTraces(ts []TrialTrace) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.Strategy != b.Strategy {
+			return a.Strategy < b.Strategy
+		}
+		if a.VP != b.VP {
+			return a.VP < b.VP
+		}
+		if a.Server != b.Server {
+			return a.Server < b.Server
+		}
+		if a.Sensitive != b.Sensitive {
+			return !a.Sensitive
+		}
+		return a.Trial < b.Trial
+	})
+}
+
+// Trials returns how many trials the sink absorbed.
+func (s *ObsSink) Trials() int { return s.trials }
+
+// Failures returns the retained failing-trial traces (call Finish
+// first for the deterministic final set).
+func (s *ObsSink) Failures() []TrialTrace { return s.failures }
+
+// Snapshot copies the current counter values.
+func (s *ObsSink) Snapshot() obs.Snapshot { return s.Registry.Snapshot() }
+
+// Aggregate summarises the campaign: throughput against wall time and
+// the distribution of flight-recorder events per trial. The percentile
+// inputs are sorted first, so the result is independent of absorb
+// order (serial vs parallel).
+func (s *ObsSink) Aggregate(wall time.Duration) obs.Aggregate {
+	agg := obs.Aggregate{Trials: s.trials, Wall: wall}
+	sorted := append([]int(nil), s.eventsPerTrial...)
+	sort.Ints(sorted)
+	for _, n := range sorted {
+		agg.TotalEvents += uint64(n)
+	}
+	if wall > 0 {
+		agg.TrialsPerSec = float64(s.trials) / wall.Seconds()
+	}
+	agg.EventsPerTrialP50 = obs.Percentile(sorted, 50)
+	agg.EventsPerTrialP99 = obs.Percentile(sorted, 99)
+	return agg
+}

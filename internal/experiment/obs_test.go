@@ -1,0 +1,180 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"intango/internal/core"
+	"intango/internal/obs"
+)
+
+// TestObsSerialParallelDeterminism is the headline guarantee: a
+// one-worker run and a many-worker run of the same campaign produce
+// bit-identical tallies, counters, aggregates, and retained failure
+// traces.
+func TestObsSerialParallelDeterminism(t *testing.T) {
+	scale := Scale{VPs: 2, Servers: 2, Trials: 1}
+	run := func(workers int) ([]Table1Row, *ObsSink) {
+		r := NewRunner(42)
+		r.Workers = workers
+		r.Obs = NewObsSink()
+		rows := RunTable1Parallel(r, scale)
+		return rows, r.Obs
+	}
+	rowsSerial, obsSerial := run(1)
+	rowsPar, obsPar := run(8)
+
+	if !reflect.DeepEqual(rowsSerial, rowsPar) {
+		t.Errorf("table rows differ:\nserial: %+v\nparallel: %+v", rowsSerial, rowsPar)
+	}
+	snapS, snapP := obsSerial.Snapshot(), obsPar.Snapshot()
+	if !reflect.DeepEqual(snapS.Counters, snapP.Counters) {
+		t.Errorf("counter snapshots differ:\nserial: %v\nparallel: %v", snapS.Counters, snapP.Counters)
+	}
+	if obsSerial.Trials() != obsPar.Trials() {
+		t.Errorf("trials differ: %d vs %d", obsSerial.Trials(), obsPar.Trials())
+	}
+	aggS, aggP := obsSerial.Aggregate(0), obsPar.Aggregate(0)
+	if aggS.TotalEvents != aggP.TotalEvents ||
+		aggS.EventsPerTrialP50 != aggP.EventsPerTrialP50 ||
+		aggS.EventsPerTrialP99 != aggP.EventsPerTrialP99 {
+		t.Errorf("aggregates differ: %v vs %v", aggS, aggP)
+	}
+	if !reflect.DeepEqual(obsSerial.Failures(), obsPar.Failures()) {
+		t.Errorf("retained failure traces differ:\nserial: %+v\nparallel: %+v",
+			obsSerial.Failures(), obsPar.Failures())
+	}
+	if len(obsSerial.Failures()) == 0 {
+		t.Error("campaign retained no failure traces; determinism check is vacuous")
+	}
+	if snapS.Counters["trials.total"] != uint64(obsSerial.Trials()) {
+		t.Errorf("trials.total counter %d != absorbed trials %d",
+			snapS.Counters["trials.total"], obsSerial.Trials())
+	}
+}
+
+// TestObsDoesNotPerturbOutcomes: attaching the full instrumentation
+// bundle must not change any trial's classification.
+func TestObsDoesNotPerturbOutcomes(t *testing.T) {
+	vp := VantagePoints()[0]
+	bare := NewRunner(7)
+	srv := Servers(3, bare.Cal, 7)
+	f := core.BuiltinFactories()["teardown-rst/ttl"]
+	instr := NewRunner(7)
+	instr.Obs = NewObsSink()
+	for si, s := range srv {
+		for trial := 0; trial < 2; trial++ {
+			a := bare.RunOne(vp, s, f, true, trial)
+			b := instr.RunOne(vp, s, f, true, trial)
+			if a != b {
+				t.Fatalf("server %d trial %d: bare %v, instrumented %v", si, trial, a, b)
+			}
+		}
+	}
+	if instr.Obs.Trials() == 0 || len(instr.Obs.Snapshot().Counters) == 0 {
+		t.Error("instrumented runner collected nothing")
+	}
+}
+
+// TestRunOneTraced: the flight recorder yields a non-empty trace with
+// nondecreasing virtual timestamps.
+func TestRunOneTraced(t *testing.T) {
+	r := NewRunner(7)
+	vp := VantagePoints()[0]
+	srv := Servers(1, r.Cal, 7)[0]
+	f := core.BuiltinFactories()["improved-teardown"]
+	out, events := r.RunOneTraced(vp, srv, f, true, 3)
+	if out != r.RunOne(vp, srv, f, true, 3) {
+		t.Error("traced run classified differently from plain run")
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].T < events[i-1].T {
+			t.Fatalf("timestamps regress at %d: %v after %v", i, events[i], events[i-1])
+		}
+	}
+	for _, e := range events {
+		if e.Subsys == "" || e.Verb == "" {
+			t.Fatalf("event missing subsystem or verb: %+v", e)
+		}
+	}
+}
+
+func TestOutcomeStringUnknown(t *testing.T) {
+	if got := Outcome(7).String(); got != "outcome(7)" {
+		t.Errorf("Outcome(7).String() = %q, want outcome(7)", got)
+	}
+	if got := Failure2.String(); got != "failure-2" {
+		t.Errorf("Failure2.String() = %q", got)
+	}
+}
+
+func TestFirstDivergence(t *testing.T) {
+	a := []obs.Event{{Subsys: "gfw", Verb: "resync"}, {Subsys: "gfw", Verb: "inject-type1"}}
+	if d := firstDivergence(a, a); d != "" {
+		t.Errorf("identical traces diverge: %q", d)
+	}
+	b := []obs.Event{{Subsys: "gfw", Verb: "resync"}, {Subsys: "gfw", Verb: "keyword-match"}}
+	if d := firstDivergence(a, b); d == "" {
+		t.Error("differing traces report no divergence")
+	}
+	if d := firstDivergence(a, a[:1]); d == "" {
+		t.Error("truncated trace reports no divergence")
+	}
+}
+
+// TestDiagnoseDivergence: when a factor removal flips a failing trial,
+// its controlled re-run must diverge from the baseline trace.
+func TestDiagnoseDivergence(t *testing.T) {
+	r := NewRunner(42)
+	servers := Servers(30, r.Cal, 42)
+	f := core.BuiltinFactories()["teardown-rst/ttl"]
+	for _, vp := range VantagePoints() {
+		for _, srv := range servers {
+			if r.RunOne(vp, srv, f, true, 0) == Success {
+				continue
+			}
+			d := r.Diagnose(vp, srv, "teardown-rst/ttl", 0)
+			if len(d.BaselineTrace) == 0 {
+				t.Fatal("failing baseline has no trace")
+			}
+			for _, att := range d.Attributions {
+				if att.Explains && att.FirstDivergence == "" {
+					t.Errorf("factor %s flips the outcome but traces do not diverge", att.Factor)
+				}
+			}
+			if out := FormatDiagnosisDetail(d); out == "" {
+				t.Error("empty diagnosis detail")
+			}
+			return
+		}
+	}
+	t.Fatal("no failing pair found to diagnose")
+}
+
+// BenchmarkObsOverhead measures the instrumentation tax on a full
+// trial: "disabled" is the nil-Obs hot path (one branch per probe
+// site), "enabled" attaches the registry and flight recorder.
+func BenchmarkObsOverhead(b *testing.B) {
+	vp := VantagePoints()[0]
+	f := core.BuiltinFactories()["improved-teardown"]
+	b.Run("disabled", func(b *testing.B) {
+		r := NewRunner(7)
+		srv := Servers(1, r.Cal, 7)[0]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.RunOne(vp, srv, f, true, 3)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		r := NewRunner(7)
+		srv := Servers(1, r.Cal, 7)[0]
+		r.Obs = NewObsSink()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.RunOne(vp, srv, f, true, 3)
+		}
+	})
+}

@@ -16,40 +16,63 @@ type trialJob struct {
 	trial     int
 	// sink receives the outcome; index identifies the tally.
 	sink int
+	// label names the strategy for observability retention keys.
+	label string
 }
 
-// RunParallel executes a batch of trials across all CPUs. Each trial is
-// an isolated simulation with a seed derived only from its own
-// parameters, so results are identical to serial execution regardless
-// of scheduling.
+// RunParallel executes a batch of trials across all CPUs (bounded by
+// r.Workers when set). Each trial is an isolated simulation with a
+// seed derived only from its own parameters, and every worker
+// accumulates into private tally and observability shards that are
+// merged only after the barrier — no lock is taken anywhere on the
+// trial hot path, and because the merges are order-independent the
+// results are bit-identical to serial execution regardless of
+// scheduling.
 func (r *Runner) RunParallel(jobs []trialJob, tallies []*Tally) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	var mu sync.Mutex
 	var wg sync.WaitGroup
 	ch := make(chan trialJob, workers)
+	tallyShards := make([][]Tally, workers)
+	obsShards := make([]*ObsSink, workers)
 	for w := 0; w < workers; w++ {
+		tallyShards[w] = make([]Tally, len(tallies))
+		if r.Obs != nil {
+			obsShards[w] = r.Obs.shard()
+		}
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for job := range ch {
-				out := r.RunOne(job.vp, job.srv, job.factory, job.sensitive, job.trial)
-				mu.Lock()
-				tallies[job.sink].Add(out)
-				mu.Unlock()
+				out := r.runOne(job.vp, job.srv, job.factory, job.sensitive, job.trial, obsShards[w], job.label)
+				tallyShards[w][job.sink].Add(out)
 			}
-		}()
+		}(w)
 	}
 	for _, job := range jobs {
 		ch <- job
 	}
 	close(ch)
 	wg.Wait()
+	for w := range tallyShards {
+		for i, t := range tallyShards[w] {
+			tallies[i].Merge(t)
+		}
+		if r.Obs != nil {
+			r.Obs.merge(obsShards[w])
+		}
+	}
+	if r.Obs != nil {
+		r.Obs.Finish()
+	}
 }
 
 // RunTable1Parallel is RunTable1 with trials fanned out across CPUs.
@@ -70,8 +93,8 @@ func RunTable1Parallel(r *Runner, scale Scale) []Table1Row {
 		for _, vp := range vps {
 			for _, srv := range servers {
 				for trial := 0; trial < scale.Trials; trial++ {
-					jobs = append(jobs, trialJob{vp, srv, factory, true, trial, 2 * i})
-					jobs = append(jobs, trialJob{vp, srv, factory, false, trial + scale.Trials, 2*i + 1})
+					jobs = append(jobs, trialJob{vp, srv, factory, true, trial, 2 * i, spec.factory})
+					jobs = append(jobs, trialJob{vp, srv, factory, false, trial + scale.Trials, 2*i + 1, spec.factory})
 				}
 			}
 		}
@@ -95,7 +118,7 @@ func RunTable4Parallel(r *Runner, vps []VantagePoint, servers []Server, trials i
 			tallies = append(tallies, &perVP[si][vi])
 			for _, srv := range servers {
 				for trial := 0; trial < trials; trial++ {
-					jobs = append(jobs, trialJob{vp, srv, factory, true, trial, sink})
+					jobs = append(jobs, trialJob{vp, srv, factory, true, trial, sink, spec.factory})
 				}
 			}
 		}

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"intango/internal/intang"
 	"intango/internal/middlebox"
 	"intango/internal/netem"
+	"intango/internal/obs"
 	"intango/internal/packet"
 	"intango/internal/tcpstack"
 )
@@ -37,8 +39,10 @@ func (o Outcome) String() string {
 		return "success"
 	case Failure1:
 		return "failure-1"
-	default:
+	case Failure2:
 		return "failure-2"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
 	}
 }
 
@@ -49,6 +53,12 @@ type Runner struct {
 	// HardenGFW, when set, applies §8 countermeasures to every device
 	// the runner builds (the ablation harness sets it).
 	HardenGFW func(cfg *gfw.Config)
+	// Obs, when set, collects counters, throughput aggregates, and
+	// failing-trial flight-recorder traces from every trial. Nil (the
+	// default) leaves the whole stack uninstrumented.
+	Obs *ObsSink
+	// Workers caps RunParallel's fan-out; 0 means GOMAXPROCS.
+	Workers int
 }
 
 // NewRunner builds a runner with the default calibration.
@@ -177,17 +187,67 @@ func classify(rg *rig, conn *tcpstack.Conn, sensitive bool) Outcome {
 	}
 }
 
-// RunOne executes a single strategy trial and classifies it.
-func (r *Runner) RunOne(vp VantagePoint, srv Server, factory core.Factory, sensitive bool, trial int) Outcome {
+// attachObs threads one trial's obs bundle through every layer of the
+// rig: the path (netem + middlebox counters), each GFW device, and
+// both end-host stacks. Instrumentation never schedules events or
+// draws randomness, so an attached rig behaves identically to a bare
+// one.
+func (rg *rig) attachObs(b *obs.Obs) {
+	rg.path.Obs = b
+	for _, dev := range rg.devices {
+		dev.Obs = b
+	}
+	rg.cli.Obs = b
+	rg.srv.Obs = b
+}
+
+// runRig executes one constructed trial: optional obs attachment, one
+// HTTP fetch, §3.4 classification. A nil reg runs uninstrumented (the
+// hot path); otherwise a fresh per-trial flight recorder keyed to the
+// simulator's virtual clock is wired through the whole rig.
+func (r *Runner) runRig(vp VantagePoint, srv Server, factory core.Factory, sensitive bool, trial int, reg *obs.Registry) (Outcome, *rig, *obs.Recorder) {
 	trialSeed := r.pairSeed(vp, srv) ^ int64(uint64(trial)*0x9e3779b97f4a7c15)
 	rg := r.build(vp, srv, trialSeed)
+	var rec *obs.Recorder
+	if reg != nil {
+		rec = obs.NewRecorder(obs.DefaultRingSize, rg.sim.Now)
+		rg.attachObs(obs.New(reg, rec))
+	}
 	env := core.DefaultEnv(insertionTTL(srv), rg.sim.Rand())
 	rg.engine = core.NewEngine(rg.sim, rg.path, rg.cli, env)
 	if factory != nil {
 		rg.engine.NewStrategy = func(packet.FourTuple) core.Strategy { return factory() }
 	}
 	conn := fetch(rg, srv, sensitive)
-	return classify(rg, conn, sensitive)
+	return classify(rg, conn, sensitive), rg, rec
+}
+
+// runOne runs one trial against an explicit sink (RunParallel hands
+// each worker its own shard here). label names the strategy for the
+// failure-trace retention key.
+func (r *Runner) runOne(vp VantagePoint, srv Server, factory core.Factory, sensitive bool, trial int, sink *ObsSink, label string) Outcome {
+	var reg *obs.Registry
+	if sink != nil {
+		reg = sink.Registry
+	}
+	out, rg, rec := r.runRig(vp, srv, factory, sensitive, trial, reg)
+	if sink != nil {
+		sink.absorb(rg, label, vp.Name, srv.Name, sensitive, trial, out, rec)
+	}
+	return out
+}
+
+// RunOne executes a single strategy trial and classifies it.
+func (r *Runner) RunOne(vp VantagePoint, srv Server, factory core.Factory, sensitive bool, trial int) Outcome {
+	return r.runOne(vp, srv, factory, sensitive, trial, r.Obs, "")
+}
+
+// RunOneTraced runs one trial with a private flight recorder and
+// returns the classification together with the retained trace — the
+// §3.4 controlled-experiment hook diagnosis builds on.
+func (r *Runner) RunOneTraced(vp VantagePoint, srv Server, factory core.Factory, sensitive bool, trial int) (Outcome, []obs.Event) {
+	out, _, rec := r.runRig(vp, srv, factory, sensitive, trial, obs.NewRegistry())
+	return out, rec.Events()
 }
 
 // fetch performs one HTTP GET (optionally with the sensitive keyword)
@@ -215,6 +275,11 @@ func (r *Runner) RunINTANGSeries(vp VantagePoint, srv Server, trials int) []Outc
 	rg := r.build(vp, srv, r.pairSeed(vp, srv))
 	it := intang.New(rg.sim, rg.path, rg.cli, intang.Options{})
 	it.Engine.Env.InsertionTTL = insertionTTL(srv)
+	if r.Obs != nil {
+		bundle := obs.New(r.Obs.Registry, obs.NewRecorder(obs.DefaultRingSize, rg.sim.Now))
+		rg.attachObs(bundle)
+		it.Obs = bundle
+	}
 	outcomes := make([]Outcome, 0, trials)
 	for i := 0; i < trials; i++ {
 		for _, dev := range rg.devices {
@@ -230,6 +295,9 @@ func (r *Runner) RunINTANGSeries(vp VantagePoint, srv Server, trials int) []Outc
 		} else {
 			rg.sim.RunFor(2 * time.Second)
 		}
+	}
+	if r.Obs != nil {
+		r.Obs.absorbSeries(rg, outcomes)
 	}
 	return outcomes
 }

@@ -6,6 +6,7 @@ import (
 
 	"intango/internal/dpi"
 	"intango/internal/netem"
+	"intango/internal/obs"
 	"intango/internal/packet"
 )
 
@@ -53,6 +54,10 @@ type Device struct {
 	OnEvent func(Event)
 	// Stats counts events by kind.
 	Stats map[string]int
+	// Obs, when set, mirrors every device event into the shared
+	// observability layer as a "gfw.<kind>" counter and a
+	// flight-recorder entry. Nil (the default) costs one branch.
+	Obs *obs.Obs
 }
 
 // NewDevice builds a device named name. The rng drives all sampled
@@ -104,6 +109,14 @@ func (d *Device) SetSegmentLastWins(v bool) { d.segLastWins = v }
 
 func (d *Device) event(kind string, tuple packet.FourTuple, detail string) {
 	d.Stats[kind]++
+	if d.Obs != nil {
+		d.Obs.Count("gfw." + kind)
+		note := d.name
+		if detail != "" {
+			note += " " + detail
+		}
+		d.Obs.Trace("gfw", kind, 0, 0, note)
+	}
 	if d.OnEvent != nil {
 		d.OnEvent(Event{Kind: kind, Tuple: tuple, Detail: detail})
 	}

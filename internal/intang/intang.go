@@ -15,6 +15,7 @@ import (
 	"intango/internal/dnsmsg"
 	"intango/internal/kvstore"
 	"intango/internal/netem"
+	"intango/internal/obs"
 	"intango/internal/packet"
 	"intango/internal/tcpstack"
 )
@@ -97,6 +98,10 @@ type INTANG struct {
 
 	// Stats counts engine events by kind.
 	Stats map[string]int
+
+	// Obs, when set, mirrors the cache/rotation/δ life cycle into the
+	// shared observability registry and flight recorder.
+	Obs *obs.Obs
 }
 
 type liveFlow struct {
@@ -147,6 +152,10 @@ func (it *INTANG) newStrategy(tuple packet.FourTuple) core.Strategy {
 	lf := &liveFlow{server: server, strategy: name}
 	it.live[tuple] = lf
 	it.Stats["flow:"+name]++
+	if it.Obs != nil {
+		it.Obs.Count("intang.flow")
+		it.Obs.Trace("intang", "flow", 0, 0, name+" -> "+server.String())
+	}
 	if it.Opts.ResponseTimeout > 0 {
 		it.sim.At(it.Opts.ResponseTimeout, func() { it.reportTimeout(lf) })
 	}
@@ -174,6 +183,10 @@ func (it *INTANG) reportTimeout(lf *liveFlow) {
 	}
 	lf.decided = true
 	it.Stats["timeout"]++
+	if it.Obs != nil {
+		it.Obs.Count("intang.timeout")
+		it.Obs.Trace("intang", "timeout", 0, 0, lf.strategy+" @ "+lf.server.String())
+	}
 	if v, ok := it.Store.Get(cacheKey(lf.server)); ok && v == lf.strategy {
 		it.Store.Delete(cacheKey(lf.server))
 	}
@@ -183,6 +196,9 @@ func (it *INTANG) reportTimeout(lf *liveFlow) {
 			it.delta[lf.server] = d + 1
 			it.applyTTL(lf.server)
 			it.Stats["delta-raise"]++
+			if it.Obs != nil {
+				it.Obs.Count("intang.delta-raise")
+			}
 		}
 	}
 }
@@ -191,7 +207,13 @@ func (it *INTANG) reportTimeout(lf *liveFlow) {
 // the cached winner if present, else the current rotation candidate.
 func (it *INTANG) ChooseStrategy(server packet.Addr) string {
 	if v, ok := it.Store.Get(cacheKey(server)); ok {
+		if it.Obs != nil {
+			it.Obs.Count("intang.cache-hit")
+		}
 		return v
+	}
+	if it.Obs != nil {
+		it.Obs.Count("intang.cache-miss")
 	}
 	idx := it.rotation[server] % len(it.Opts.Candidates)
 	return it.Opts.Candidates[idx]
@@ -205,6 +227,10 @@ func (it *INTANG) reportSuccess(lf *liveFlow) {
 	lf.decided = true
 	it.Store.Set(cacheKey(lf.server), lf.strategy, it.Opts.CacheTTL)
 	it.Stats["success"]++
+	if it.Obs != nil {
+		it.Obs.Count("intang.cache-store")
+		it.Obs.Trace("intang", "cache-store", 0, 0, lf.strategy+" @ "+lf.server.String())
+	}
 }
 
 // reportFailure advances the rotation for the server and drops any
@@ -219,6 +245,10 @@ func (it *INTANG) reportFailure(lf *liveFlow) {
 	}
 	it.rotation[lf.server]++
 	it.Stats["failure"]++
+	if it.Obs != nil {
+		it.Obs.Count("intang.rotation")
+		it.Obs.Trace("intang", "rotation", 0, 0, lf.strategy+" failed @ "+lf.server.String())
+	}
 	// Exhausting the whole rotation suggests the insertion packets are
 	// not reaching the GFW at all (§7.1's outside-China TTL problem):
 	// shrink δ so they travel further.
@@ -227,6 +257,9 @@ func (it *INTANG) reportFailure(lf *liveFlow) {
 			it.delta[lf.server] = d - 1
 			it.applyTTL(lf.server)
 			it.Stats["delta-lower"]++
+			if it.Obs != nil {
+				it.Obs.Count("intang.delta-lower")
+			}
 		}
 	}
 }

@@ -80,6 +80,11 @@ func (f *StatefulFirewall) Process(ctx *netem.Context, pkt *packet.Packet, dir n
 		return netem.Pass
 	}
 	if c.dead {
+		// The §3.4 Failure-1 signature: the firewall honored an earlier
+		// teardown packet and now blocks the legitimate flow.
+		if o := ctx.Obs(); o != nil {
+			o.Count("middlebox.fw-drop-dead-conn")
+		}
 		return netem.Drop
 	}
 	forward := pkt.Tuple() == key // travelling in canonical direction
@@ -87,6 +92,9 @@ func (f *StatefulFirewall) Process(ctx *netem.Context, pkt *packet.Packet, dir n
 		if exp, ok := f.expected(c, forward); ok {
 			if d := tcp.Seq.Diff(exp); d < -(1<<16) || d > 1<<16 {
 				// Wildly out-of-window: not plausible for this flow.
+				if o := ctx.Obs(); o != nil {
+					o.Count("middlebox.fw-drop-out-of-window")
+				}
 				return netem.Drop
 			}
 		}
@@ -95,11 +103,19 @@ func (f *StatefulFirewall) Process(ctx *netem.Context, pkt *packet.Packet, dir n
 	case tcp.HasFlag(packet.FlagRST):
 		if f.honors() {
 			c.dead = true
+			if o := ctx.Obs(); o != nil {
+				o.Count("middlebox.fw-conn-killed")
+				o.Trace("middlebox", "fw-conn-killed", uint32(tcp.Seq), tcp.Flags, f.name+" rst")
+			}
 		}
 		return netem.Pass // the killing packet itself is forwarded
 	case tcp.HasFlag(packet.FlagFIN):
 		if f.honors() {
 			c.dead = true
+			if o := ctx.Obs(); o != nil {
+				o.Count("middlebox.fw-conn-killed")
+				o.Trace("middlebox", "fw-conn-killed", uint32(tcp.Seq), tcp.Flags, f.name+" fin")
+			}
 		}
 		return netem.Pass
 	case tcp.HasFlag(packet.FlagSYN) && tcp.HasFlag(packet.FlagACK):

@@ -55,6 +55,11 @@ func (m *FragmentReassembler) Process(ctx *netem.Context, pkt *packet.Packet, di
 	if err != nil || whole == nil {
 		return netem.Drop // buffered (or broken): the fragment itself stops here
 	}
+	if o := ctx.Obs(); o != nil {
+		// The rebuilt datagram is what defeats fragment-based evasion
+		// downstream (§3.4) — worth a dedicated counter.
+		o.Count("middlebox.frag-reassembled")
+	}
 	ctx.Inject(dir, whole, 0)
 	return netem.Drop
 }

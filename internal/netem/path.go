@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"intango/internal/obs"
 	"intango/internal/packet"
 )
 
@@ -94,11 +95,20 @@ type Path struct {
 	}
 	// Trace, when set, observes every packet event on the path.
 	Trace func(ev TraceEvent)
+	// Obs, when set, counts packet events and records path-level
+	// flight-recorder entries. Nil means disabled (the default) and
+	// costs one branch per event.
+	Obs *obs.Obs
 	// MTU, when nonzero, is enforced at the client link: datagrams
 	// whose wire size exceeds it are dropped (traced as "drop-mtu").
 	// The simulator does not auto-fragment; senders must fragment
 	// deliberately, as the evasion strategies do.
 	MTU int
+
+	// counts accumulates per-event totals as plain increments — the
+	// path belongs to a single simulation, so no atomics are needed on
+	// the hot path. FlushCounters folds them into the registry.
+	counts [numPathEvents]uint64
 }
 
 // TraceEvent is one observable packet event.
@@ -129,26 +139,99 @@ type Context struct {
 // uses it to fire forged RSTs; reassembling middleboxes use it to emit
 // rebuilt datagrams.
 func (c *Context) Inject(dir Direction, pkt *packet.Packet, delay time.Duration) {
-	c.Path.emit(c.HopIndex, dir, pkt, delay, "inject")
+	c.Path.emit(c.HopIndex, dir, pkt, delay, true)
 }
+
+// Obs returns the path's observability bundle (nil when disabled), so
+// processors can count and trace their own decisions.
+func (c *Context) Obs() *obs.Obs { return c.Path.Obs }
 
 // element indices: -1 = client, 0..len(hops)-1 = hops, len(hops) = server.
 func (p *Path) serverIndex() int { return len(p.Hops) }
 
-func (p *Path) trace(where, event string, dir Direction, pkt *packet.Packet) {
+// Path event indices for the hot-path counters.
+const (
+	evSend = iota
+	evFwd
+	evDeliver
+	evInject
+	evDropLoss
+	evDropTTL
+	evDropProc
+	evDropIPck
+	evDropIPOpt
+	evDropMTU
+	numPathEvents
+)
+
+// pathEventLabels are the TraceEvent labels, indexed by event.
+var pathEventLabels = [numPathEvents]string{
+	"send", "fwd", "deliver", "inject", "drop-loss",
+	"drop-ttl", "drop-proc", "drop-ipck", "drop-ipopt", "drop-mtu",
+}
+
+// pathEventCounters are the registry counter names, indexed by event.
+var pathEventCounters = [numPathEvents]string{
+	"netem.send", "netem.fwd", "netem.deliver", "netem.inject", "netem.drop-loss",
+	"netem.drop-ttl", "netem.drop-proc", "netem.drop-ipck", "netem.drop-ipopt", "netem.drop-mtu",
+}
+
+func (p *Path) trace(where string, ev int, dir Direction, pkt *packet.Packet) {
+	p.counts[ev]++
+	// Per-hop forwarding stays out of the flight recorder, which would
+	// otherwise fill with uninteresting "fwd" lines.
+	if p.Obs != nil && ev != evFwd {
+		var seq uint32
+		var flags uint8
+		if pkt.TCP != nil {
+			seq = uint32(pkt.TCP.Seq)
+			flags = pkt.TCP.Flags
+		}
+		p.Obs.Trace("netem", pathEventLabels[ev], seq, flags, where+" "+dir.String())
+	}
 	if p.Trace != nil {
-		p.Trace(TraceEvent{Time: p.Sim.Now(), Where: where, Event: event, Dir: dir, Pkt: pkt})
+		p.Trace(TraceEvent{Time: p.Sim.Now(), Where: where, Event: pathEventLabels[ev], Dir: dir, Pkt: pkt})
+	}
+}
+
+// FlushCounters folds the path's accumulated event counts into the
+// observability registry and resets them. Call once per finished
+// trial; a no-op when no Obs is attached.
+func (p *Path) FlushCounters() {
+	if p.Obs == nil {
+		return
+	}
+	reg := p.Obs.Registry()
+	for ev, n := range p.counts {
+		reg.Add(pathEventCounters[ev], n)
+		p.counts[ev] = 0
+	}
+}
+
+// pktKind buckets a packet for the per-type drop counters.
+func pktKind(pkt *packet.Packet) string {
+	switch {
+	case pkt.IP.IsFragment():
+		return "ipfrag"
+	case pkt.TCP != nil:
+		return "tcp"
+	case pkt.UDP != nil:
+		return "udp"
+	case pkt.ICMP != nil:
+		return "icmp"
+	default:
+		return "other"
 	}
 }
 
 // SendFromClient transmits pkt from the client end.
 func (p *Path) SendFromClient(pkt *packet.Packet) {
 	if p.MTU > 0 && wireSize(pkt) > p.MTU {
-		p.trace("client", "drop-mtu", ToServer, pkt)
+		p.trace("client", evDropMTU, ToServer, pkt)
 		return
 	}
-	p.trace("client", "send", ToServer, pkt)
-	p.emit(-1, ToServer, pkt, 0, "")
+	p.trace("client", evSend, ToServer, pkt)
+	p.emit(-1, ToServer, pkt, 0, false)
 }
 
 // wireSize computes the datagram's on-the-wire size from its fields.
@@ -167,8 +250,8 @@ func wireSize(pkt *packet.Packet) int {
 
 // SendFromServer transmits pkt from the server end.
 func (p *Path) SendFromServer(pkt *packet.Packet) {
-	p.trace("server", "send", ToClient, pkt)
-	p.emit(p.serverIndex(), ToClient, pkt, 0, "")
+	p.trace("server", evSend, ToClient, pkt)
+	p.emit(p.serverIndex(), ToClient, pkt, 0, false)
 }
 
 // linkFrom returns the latency/loss of the link leaving element idx in
@@ -189,10 +272,11 @@ func (p *Path) linkFrom(idx int, dir Direction) (time.Duration, float64) {
 }
 
 // emit schedules pkt's traversal of the link leaving element from in
-// direction dir, then processing at the next element.
-func (p *Path) emit(from int, dir Direction, pkt *packet.Packet, extraDelay time.Duration, label string) {
-	if label != "" && from >= 0 && from < p.serverIndex() {
-		p.trace(p.Hops[from].Name, label, dir, pkt)
+// direction dir, then processing at the next element. inject marks
+// mid-path injections (forged packets, rebuilt datagrams, ICMP).
+func (p *Path) emit(from int, dir Direction, pkt *packet.Packet, extraDelay time.Duration, inject bool) {
+	if inject && from >= 0 && from < p.serverIndex() {
+		p.trace(p.Hops[from].Name, evInject, dir, pkt)
 	}
 	lat, loss := p.linkFrom(from, dir)
 	next := from + 1
@@ -201,7 +285,7 @@ func (p *Path) emit(from int, dir Direction, pkt *packet.Packet, extraDelay time
 	}
 	p.Sim.At(extraDelay+lat, func() {
 		if loss > 0 && p.Sim.Rand().Float64() < loss {
-			p.trace(p.elementName(next), "drop-loss", dir, pkt)
+			p.trace(p.elementName(next), evDropLoss, dir, pkt)
 			return
 		}
 		p.arrive(next, dir, pkt)
@@ -223,13 +307,13 @@ func (p *Path) elementName(idx int) string {
 func (p *Path) arrive(idx int, dir Direction, pkt *packet.Packet) {
 	switch {
 	case idx < 0:
-		p.trace("client", "deliver", dir, pkt)
+		p.trace("client", evDeliver, dir, pkt)
 		if p.Client != nil {
 			p.Client.Deliver(pkt)
 		}
 		return
 	case idx >= p.serverIndex():
-		p.trace("server", "deliver", dir, pkt)
+		p.trace("server", evDeliver, dir, pkt)
 		if p.Server != nil {
 			p.Server.Deliver(pkt)
 		}
@@ -247,15 +331,15 @@ func (p *Path) arrive(idx int, dir Direction, pkt *packet.Packet) {
 		// dropped by routers or middleboxes" and therefore make poor
 		// insertion packets.
 		if !pkt.IP.VerifyChecksum() {
-			p.trace(hop.Name, "drop-ipck", dir, pkt)
+			p.trace(hop.Name, evDropIPck, dir, pkt)
 			return
 		}
 		if len(pkt.IP.Options) > 0 {
-			p.trace(hop.Name, "drop-ipopt", dir, pkt)
+			p.trace(hop.Name, evDropIPOpt, dir, pkt)
 			return
 		}
 		if pkt.IP.TTL <= 1 {
-			p.trace(hop.Name, "drop-ttl", dir, pkt)
+			p.trace(hop.Name, evDropTTL, dir, pkt)
 			p.sendTimeExceeded(idx, dir, pkt)
 			return
 		}
@@ -263,12 +347,18 @@ func (p *Path) arrive(idx int, dir Direction, pkt *packet.Packet) {
 	}
 	for _, proc := range hop.Processors {
 		if proc.Process(ctx, pkt, dir) == Drop {
-			p.trace(hop.Name, "drop-proc", dir, pkt)
+			if p.Obs != nil {
+				// Attribute the drop to the middlebox and the packet
+				// type — §3.4's "middlebox ate the insertion packet".
+				p.Obs.Count("middlebox.drop." + proc.Name())
+				p.Obs.Count("middlebox.drop-kind." + pktKind(pkt))
+			}
+			p.trace(hop.Name, evDropProc, dir, pkt)
 			return
 		}
 	}
-	p.trace(hop.Name, "fwd", dir, pkt)
-	p.emit(idx, dir, pkt, 0, "")
+	p.trace(hop.Name, evFwd, dir, pkt)
+	p.emit(idx, dir, pkt, 0, false)
 }
 
 // sendTimeExceeded emits an ICMP Time-Exceeded from hop idx back toward
@@ -285,7 +375,7 @@ func (p *Path) sendTimeExceeded(idx int, dir Direction, orig *packet.Packet) {
 		ICMP: msg,
 	}
 	reply.Finalize()
-	p.emit(idx, dir.Flip(), reply, 0, "inject")
+	p.emit(idx, dir.Flip(), reply, 0, true)
 }
 
 // hopAddr synthesizes a stable router address for hop idx, so

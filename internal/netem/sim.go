@@ -18,6 +18,7 @@ import (
 type Simulator struct {
 	now   time.Duration
 	seq   uint64
+	steps uint64
 	queue eventHeap
 	rng   *rand.Rand
 }
@@ -70,9 +71,14 @@ func (s *Simulator) Step() bool {
 	}
 	e := heap.Pop(&s.queue).(event)
 	s.now = e.at
+	s.steps++
 	e.fn()
 	return true
 }
+
+// Steps returns the number of events executed so far — the
+// observability layer's "netem events executed" figure.
+func (s *Simulator) Steps() uint64 { return s.steps }
 
 // Run executes events until the queue drains or the budget of events is
 // exhausted (a guard against accidental livelock in model code). It

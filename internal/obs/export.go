@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of a registry's counters, ready for
+// text or JSON export.
+type Snapshot struct {
+	Counters map[string]uint64 `json:"counters"`
+}
+
+// Keys returns the counter names in sorted order.
+func (s Snapshot) Keys() []string {
+	keys := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteText renders the snapshot as aligned "name value" lines, sorted
+// by name so output is diff-stable.
+func (s Snapshot) WriteText(w io.Writer) error {
+	keys := s.Keys()
+	width := 0
+	for _, k := range keys {
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%-*s %d\n", width, k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON (keys sorted, per
+// encoding/json map semantics), followed by a newline.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// FormatEvents renders a flight-recorder trace, one event per line.
+func FormatEvents(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString("  ")
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Aggregate is the per-campaign summary appended to table output:
+// throughput plus the distribution of flight-recorder activity.
+type Aggregate struct {
+	Trials            int           `json:"trials"`
+	TotalEvents       uint64        `json:"total_events"`
+	Wall              time.Duration `json:"wall_ns"`
+	TrialsPerSec      float64       `json:"trials_per_sec"`
+	EventsPerTrialP50 int           `json:"events_per_trial_p50"`
+	EventsPerTrialP99 int           `json:"events_per_trial_p99"`
+}
+
+// String renders the aggregate as one summary line.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("trials=%d trace-events=%d wall=%v trials/sec=%.1f events/trial p50=%d p99=%d",
+		a.Trials, a.TotalEvents, a.Wall.Round(time.Millisecond), a.TrialsPerSec,
+		a.EventsPerTrialP50, a.EventsPerTrialP99)
+}
+
+// Percentile returns the nearest-rank p-th percentile of sorted (an
+// ascending-sorted slice); 0 when empty.
+func Percentile(sorted []int, p float64) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

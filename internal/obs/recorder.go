@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// DefaultRingSize is the flight-recorder capacity used when none is
+// configured: large enough to hold a whole quick-scale trial, small
+// enough that a per-trial allocation is negligible.
+const DefaultRingSize = 512
+
+// Event is one structured flight-recorder entry. T is virtual
+// simulation time, so traces are reproducible bit-for-bit; Seq and
+// Flags carry the TCP view where the subsystem has one.
+type Event struct {
+	T      time.Duration `json:"t"`
+	Subsys string        `json:"subsys"`
+	Verb   string        `json:"verb"`
+	Seq    uint32        `json:"seq,omitempty"`
+	Flags  uint8         `json:"flags,omitempty"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// String renders the event as one trace line.
+func (e Event) String() string {
+	s := fmt.Sprintf("%9.3fms %-8s %-26s", float64(e.T)/float64(time.Millisecond), e.Subsys, e.Verb)
+	if e.Seq != 0 || e.Flags != 0 {
+		s += fmt.Sprintf(" seq=%d flags=%#02x", e.Seq, e.Flags)
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Recorder is a bounded ring buffer of trace events — the flight
+// recorder. The buffer grows lazily up to its capacity (quiet trials
+// never pay for the full ring); once full it overwrites the oldest
+// entry, so a snapshot always holds the most recent window leading up
+// to the outcome being explained. A nil Recorder is a valid disabled
+// recorder: Record on it costs one branch.
+type Recorder struct {
+	now   func() time.Duration
+	size  int
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewRecorder builds a recorder holding up to size events, stamping
+// them with the virtual clock now. A non-positive size selects
+// DefaultRingSize; a nil clock stamps zero.
+func NewRecorder(size int, now func() time.Duration) *Recorder {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	return &Recorder{now: now, size: size}
+}
+
+// Record appends one event, evicting the oldest when full. Safe on a
+// nil receiver (the disabled no-op path).
+func (r *Recorder) Record(subsys, verb string, seq uint32, flags uint8, detail string) {
+	if r == nil {
+		return
+	}
+	e := Event{T: r.now(), Subsys: subsys, Verb: verb, Seq: seq, Flags: flags, Detail: detail}
+	if len(r.buf) < r.size {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next++
+		if r.next == r.size {
+			r.next = 0
+		}
+	}
+	r.total++
+}
+
+// Total returns how many events were ever recorded, including evicted
+// ones. Safe on a nil receiver.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Dropped returns how many events the ring evicted.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	kept := uint64(len(r.buf))
+	if r.total <= kept {
+		return 0
+	}
+	return r.total - kept
+}
+
+// Events returns the retained events in chronological order (oldest
+// first), as a copy safe to hold after the trial ends. Safe on a nil
+// receiver.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if r.total <= uint64(len(r.buf)) {
+		return append([]Event(nil), r.buf[:r.total]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is one named atomic counter. The zero value is ready to use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. Safe on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Safe on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count. Safe on a nil receiver.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Registry is a set of named atomic counters. Registration (the first
+// Add of a name) takes the write lock; subsequent Adds take a read
+// lock plus an atomic increment, so counting is contention-free for a
+// stable key set. For fully lock-free hot paths, shard: give each
+// worker its own Registry and Merge them after the workers join —
+// addition commutes, so any merge order produces identical totals.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the named counter, registering it on first use. It
+// returns nil on a nil registry (and Counter methods accept nil), so a
+// cached handle can be taken unconditionally.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Add adds n to the named counter. Safe on a nil receiver.
+func (r *Registry) Add(name string, n uint64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.Counter(name).Add(n)
+}
+
+// Inc increments the named counter by one. Safe on a nil receiver.
+func (r *Registry) Inc(name string) {
+	if r == nil {
+		return
+	}
+	r.Counter(name).Add(1)
+}
+
+// Value returns the named counter's current count (0 if never used).
+func (r *Registry) Value(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	return c.Value()
+}
+
+// Merge adds every counter of other into r. Merging is associative and
+// commutative, so per-worker shards can be folded in any order with
+// bit-identical results. Safe when either registry is nil.
+func (r *Registry) Merge(other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	for name, c := range other.counters {
+		r.Add(name, c.Value())
+	}
+}
+
+// Snapshot captures all non-zero counters at a point in time.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: make(map[string]uint64)}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		if v := c.Value(); v > 0 {
+			s.Counters[name] = v
+		}
+	}
+	return s
+}

@@ -233,8 +233,16 @@ func (c *Conn) onRetxTimer(gen int) {
 	seg := &c.retx[0]
 	seg.retries++
 	if seg.retries > c.stack.MaxRetries {
+		if c.stack.Obs != nil {
+			c.stack.Obs.Count("tcpstack.retransmission-limit")
+			c.stack.Obs.Trace("tcpstack", "retransmission-limit", uint32(seg.seq), seg.flags, "")
+		}
 		c.abort("retransmission-limit")
 		return
+	}
+	if c.stack.Obs != nil {
+		c.stack.Obs.Count("tcpstack.retransmit")
+		c.stack.Obs.Trace("tcpstack", "retransmit", uint32(seg.seq), seg.flags, "")
 	}
 	c.transmit(seg.flags, seg.seq, c.rcvNxt, seg.data)
 	c.rto *= 2

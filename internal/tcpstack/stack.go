@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"intango/internal/netem"
+	"intango/internal/obs"
 	"intango/internal/packet"
 )
 
@@ -47,6 +48,12 @@ type Stack struct {
 
 	// Observe, when set, sees every classified segment.
 	Observe ObserveFunc
+
+	// Obs, when set, counts every non-Accept disposition (challenge
+	// ACKs, PAWS/MD5/checksum rejections, RST validation outcomes) and
+	// retransmission as "tcpstack.<reason>" and records them in the
+	// flight recorder. Nil (the default) costs one branch per segment.
+	Obs *obs.Obs
 
 	conns     map[connKey]*Conn
 	listeners map[uint16]Acceptor
@@ -94,6 +101,15 @@ func (s *Stack) send(pkt *packet.Packet) {
 }
 
 func (s *Stack) observe(c *Conn, pkt *packet.Packet, d Disposition) {
+	if s.Obs != nil && d.Verdict != Accept {
+		s.Obs.Count("tcpstack." + d.Reason)
+		if d.Verdict == IgnoreWithAck {
+			// The aggregate the paper's §5.1 cares about: segments that
+			// only elicit a duplicate/challenge ACK.
+			s.Obs.Count("tcpstack.ignore-with-ack")
+		}
+		s.Obs.Trace("tcpstack", d.Reason, uint32(pkt.TCP.Seq), pkt.TCP.Flags, d.Verdict.String())
+	}
 	if s.Observe != nil {
 		s.Observe(c, pkt, d)
 	}
