@@ -1,10 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-obs
+.PHONY: check build vet test race bench bench-smoke bench-compare bench-obs
 
-# check is the full gate: build, vet, tests, then tests under the race
-# detector (the observability merge paths are the interesting part).
-check: build vet test race
+# check is the full gate: build, vet, tests, tests under the race
+# detector (the observability merge paths are the interesting part),
+# and a single-iteration pass over the hot-path benchmarks so a broken
+# benchmark can't sit unnoticed until the next `make bench`.
+check: build vet test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -17,6 +19,24 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# bench measures the trial hot path and the serial/parallel campaign
+# loops and writes BENCH_netem.json (ns/trial, allocs/trial, trials/sec,
+# pool traffic, and the recorded pre-pooling baseline for comparison).
+bench:
+	$(GO) run ./cmd/tables -what bench -bench-out BENCH_netem.json
+
+# bench-smoke runs each hot-path benchmark exactly once — a correctness
+# pass, not a measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkTrialHotPath|BenchmarkCampaign' -benchtime 1x .
+
+# bench-compare diffs two BENCH_netem.json artifacts:
+#   make bench-compare OLD=old.json NEW=BENCH_netem.json
+OLD ?= BENCH_netem.json.old
+NEW ?= BENCH_netem.json
+bench-compare:
+	$(GO) run ./cmd/tables -what bench-compare $(OLD) $(NEW)
 
 # bench-obs measures the instrumentation tax: "disabled" must match the
 # pre-observability baseline, "enabled" should stay within a few percent.

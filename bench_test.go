@@ -290,6 +290,47 @@ func BenchmarkEvasionTrial(b *testing.B) {
 	}
 }
 
+// BenchmarkTrialHotPath measures one complete sensitive-fetch trial
+// through the experiment runner — the unit of work every campaign
+// multiplies by VPs × servers × trials. allocs/op here is the number
+// the pooling work is judged against (BENCH_netem.json records the
+// pre- and post-PR values).
+func BenchmarkTrialHotPath(b *testing.B) {
+	r := experiment.NewRunner(42)
+	vp := experiment.VantagePoints()[0]
+	srv := experiment.Servers(1, r.Cal, 42)[0]
+	factory := core.BuiltinFactories()["teardown-rst/ttl"]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.RunOne(vp, srv, factory, true, i)
+	}
+}
+
+// BenchmarkCampaign measures a small multi-pair campaign per
+// iteration, serially and through the parallel runner, reporting
+// trials/sec shape at campaign granularity.
+func BenchmarkCampaign(b *testing.B) {
+	sc := experiment.Scale{VPs: 3, Servers: 2, Trials: 1}
+	b.Run("serial", func(b *testing.B) {
+		r := experiment.NewRunner(42)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if rows := experiment.RunTable1(r, sc); len(rows) != 15 {
+				b.Fatalf("rows = %d", len(rows))
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		r := experiment.NewRunner(42)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if rows := experiment.RunTable1Parallel(r, sc); len(rows) != 15 {
+				b.Fatalf("rows = %d", len(rows))
+			}
+		}
+	})
+}
+
 // BenchmarkDiagnosis runs the §3.4 controlled failure-attribution
 // sweep (the paper's stated future work, implemented).
 func BenchmarkDiagnosis(b *testing.B) {

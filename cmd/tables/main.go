@@ -3,13 +3,16 @@
 //
 // Usage:
 //
-//	tables -what all|1|2|3|4|5|6|tor|vpn|obs|figures [-scale quick|mid|paper] [-seed n]
+//	tables -what all|1|2|3|4|5|6|tor|vpn|obs|bench|figures [-scale quick|mid|paper] [-seed n]
 //
 // The paper scale (11 VPs × 77 websites × 50 trials) is faithful but
 // slow; quick reproduces the shapes in seconds. -what obs reruns the
 // Table 1 campaign with the observability layer attached and dumps
 // counters (text and JSON), throughput aggregates, and the flight
-// recorder of one failing trial.
+// recorder of one failing trial. -what bench measures the trial hot
+// path and the serial/parallel campaign loops and writes the report to
+// -bench-out (BENCH_netem.json); -what bench-compare OLD.json NEW.json
+// diffs two such reports.
 package main
 
 import (
@@ -26,9 +29,10 @@ import (
 
 func main() {
 	var (
-		what  = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,obs,figures")
-		scale = flag.String("scale", "quick", "campaign scale: quick, mid, paper")
-		seed  = flag.Int64("seed", 42, "population/campaign seed")
+		what     = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,obs,bench,bench-compare,figures")
+		scale    = flag.String("scale", "quick", "campaign scale: quick, mid, paper")
+		seed     = flag.Int64("seed", 42, "population/campaign seed")
+		benchOut = flag.String("bench-out", "BENCH_netem.json", "report path for -what bench")
 	)
 	flag.Parse()
 
@@ -176,6 +180,52 @@ func main() {
 		}
 		fmt.Println()
 	}
+	// Strict equality again: benchmarking is minutes of repeated
+	// campaigns, so "-what all" must not pick it up either.
+	if *what == "bench" {
+		ran = true
+		fmt.Println("== benchmarking trial hot path and campaigns (this takes a few seconds) ==")
+		rep := experiment.RunBench(*seed)
+		fmt.Print(experiment.FormatBenchReport(rep))
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *benchOut, err)
+			os.Exit(1)
+		}
+		if err := experiment.WriteBenchJSON(f, rep); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *benchOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+	}
+	if *what == "bench-compare" {
+		ran = true
+		args := flag.Args()
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: tables -what bench-compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		load := func(path string) experiment.BenchReport {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "open %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			rep, err := experiment.ReadBenchJSON(f)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "parse %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			return rep
+		}
+		fmt.Print(experiment.CompareBenchReports(load(args[0]), load(args[1])))
+	}
 	if want("figures") {
 		ran = true
 		fmt.Println(experiment.Figure1(r))
@@ -184,7 +234,7 @@ func main() {
 		fmt.Println(experiment.Figure4(r))
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,obs,figures\n", *what)
+		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,obs,bench,bench-compare,figures\n", *what)
 		os.Exit(2)
 	}
 }

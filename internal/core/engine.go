@@ -146,7 +146,9 @@ func (e *Engine) emit(emissions []Emission) {
 		for _, em := range emissions {
 			switch {
 			case em.Insertion:
-				clone := em.Pkt.Clone()
+				// Each wave sends its own copy; pooled clones let the
+				// path recycle them at end-of-life.
+				clone := e.Path.Pool.Clone(em.Pkt)
 				e.Sim.At(delay, func() { e.send(Emission{Pkt: clone, Insertion: true}) })
 			case last:
 				p := em.Pkt

@@ -1,0 +1,264 @@
+package experiment
+
+// The persistent benchmark harness behind `make bench`: it measures the
+// trial hot path and the serial/parallel campaign loops in-process (via
+// testing.Benchmark, so the numbers are directly comparable with
+// `go test -bench`), embeds the pre-pooling seed baseline, and renders
+// the whole thing as BENCH_netem.json so regressions are a diff away.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+
+	"intango/internal/core"
+	"intango/internal/packet"
+)
+
+// seedBaseline is the trial/campaign cost measured at this repo's
+// pre-pooling parent commit (heap packets, container/heap event queue),
+// on the reference container. It is embedded in every report so a
+// single BENCH_netem.json answers "how far from the old cost are we?"
+// without digging through git history.
+func seedBaseline() BenchBaseline {
+	return BenchBaseline{
+		Commit: "994cc34 (pre-pooling seed)",
+		Trial: BenchResult{
+			NsPerOp:     109392,
+			BytesPerOp:  80340,
+			AllocsPerOp: 1069,
+		},
+		CampaignSerial: BenchResult{
+			NsPerOp:     56981366,
+			AllocsPerOp: 547502,
+		},
+		CampaignParallel: BenchResult{
+			NsPerOp:     53374346,
+			AllocsPerOp: 547516,
+		},
+	}
+}
+
+// BenchCampaignScale is the campaign shape the harness times: small
+// enough to iterate in tens of milliseconds, large enough to exercise
+// every strategy row and both keyword arms.
+func BenchCampaignScale() Scale { return Scale{VPs: 3, Servers: 2, Trials: 1} }
+
+// BenchResult is one measured benchmark, in go-test units.
+type BenchResult struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	TrialsPerSec float64 `json:"trials_per_sec,omitempty"`
+}
+
+// BenchBaseline pins the recorded pre-PR numbers a report is judged
+// against.
+type BenchBaseline struct {
+	Commit           string      `json:"commit"`
+	Trial            BenchResult `json:"trial"`
+	CampaignSerial   BenchResult `json:"campaign_serial"`
+	CampaignParallel BenchResult `json:"campaign_parallel"`
+}
+
+// BenchPoolStats mirrors packet.PoolStats with JSON names, plus the
+// derived recycle count.
+type BenchPoolStats struct {
+	Gets     uint64 `json:"gets"`
+	Puts     uint64 `json:"puts"`
+	News     uint64 `json:"news"`
+	Recycled uint64 `json:"recycled"`
+}
+
+// BenchReport is the schema of BENCH_netem.json.
+type BenchReport struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Seed      int64  `json:"seed"`
+
+	Baseline BenchBaseline `json:"baseline"`
+
+	// Trial is one RunOne (handshake, strategy volley, fetch,
+	// classification) — the unit every campaign multiplies.
+	Trial BenchResult `json:"trial"`
+	// CampaignSerial/CampaignParallel run the full Table 1 strategy
+	// grid at BenchCampaignScale per op.
+	CampaignSerial   BenchResult `json:"campaign_serial"`
+	CampaignParallel BenchResult `json:"campaign_parallel"`
+
+	// TrialsPerCampaignOp is the trial count behind the campaign
+	// trials_per_sec figures.
+	TrialsPerCampaignOp int `json:"trials_per_campaign_op"`
+
+	// Pool is the serial campaign runner's packet-pool traffic.
+	Pool BenchPoolStats `json:"pool"`
+
+	// AllocReductionPct is 100*(1 - trial allocs / baseline trial
+	// allocs): the headline number the pooling work is judged by.
+	AllocReductionPct float64 `json:"alloc_reduction_pct"`
+}
+
+func toBenchResult(r testing.BenchmarkResult, trialsPerOp int) BenchResult {
+	out := BenchResult{
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if trialsPerOp > 0 && out.NsPerOp > 0 {
+		out.TrialsPerSec = float64(trialsPerOp) / (out.NsPerOp / 1e9)
+	}
+	return out
+}
+
+// RunBench measures the hot path and both campaign modes and returns
+// the full report. Each section uses a fresh Runner so pool statistics
+// and RNG streams are attributable.
+func RunBench(seed int64) BenchReport {
+	rep := BenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Seed:      seed,
+		Baseline:  seedBaseline(),
+	}
+
+	// Single-trial hot path, the allocs/op headline.
+	trialRes := testing.Benchmark(func(b *testing.B) {
+		r := NewRunner(seed)
+		vp := VantagePoints()[0]
+		srv := Servers(1, r.Cal, seed)[0]
+		factory := core.BuiltinFactories()["teardown-rst/ttl"]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.RunOne(vp, srv, factory, true, i)
+		}
+	})
+	rep.Trial = toBenchResult(trialRes, 0) // trials/sec is a campaign-level figure
+
+	sc := BenchCampaignScale()
+	rep.TrialsPerCampaignOp = 2 * len(table1Strategies()) * sc.VPs * sc.Servers * sc.Trials
+
+	var poolStats packet.PoolStats
+	serialRes := testing.Benchmark(func(b *testing.B) {
+		r := NewRunner(seed)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rows := RunTable1(r, sc); len(rows) != len(table1Strategies()) {
+				b.Fatalf("rows = %d", len(rows))
+			}
+		}
+		poolStats = r.PoolStats()
+	})
+	rep.CampaignSerial = toBenchResult(serialRes, rep.TrialsPerCampaignOp)
+	rep.Pool = BenchPoolStats{
+		Gets:     poolStats.Gets,
+		Puts:     poolStats.Puts,
+		News:     poolStats.News,
+		Recycled: poolStats.Recycled(),
+	}
+
+	parallelRes := testing.Benchmark(func(b *testing.B) {
+		r := NewRunner(seed)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rows := RunTable1Parallel(r, sc); len(rows) != len(table1Strategies()) {
+				b.Fatalf("rows = %d", len(rows))
+			}
+		}
+	})
+	rep.CampaignParallel = toBenchResult(parallelRes, rep.TrialsPerCampaignOp)
+
+	if base := rep.Baseline.Trial.AllocsPerOp; base > 0 {
+		rep.AllocReductionPct = 100 * (1 - float64(rep.Trial.AllocsPerOp)/float64(base))
+	}
+	return rep
+}
+
+// WriteBenchJSON renders the report as indented JSON (the
+// BENCH_netem.json format).
+func WriteBenchJSON(w io.Writer, rep BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadBenchJSON parses a report written by WriteBenchJSON.
+func ReadBenchJSON(r io.Reader) (BenchReport, error) {
+	var rep BenchReport
+	err := json.NewDecoder(r).Decode(&rep)
+	return rep, err
+}
+
+func pctDelta(oldV, newV float64) string {
+	if oldV == 0 {
+		return "   n/a"
+	}
+	return fmt.Sprintf("%+5.1f%%", 100*(newV-oldV)/oldV)
+}
+
+func benchLine(b *strings.Builder, name string, cur, base BenchResult) {
+	fmt.Fprintf(b, "  %-18s %12.0f ns/op (%s vs baseline)   %8d allocs/op (%s)\n",
+		name, cur.NsPerOp, pctDelta(base.NsPerOp, cur.NsPerOp),
+		cur.AllocsPerOp, pctDelta(float64(base.AllocsPerOp), float64(cur.AllocsPerOp)))
+}
+
+// FormatBenchReport renders the report for humans, deltas against the
+// embedded baseline included.
+func FormatBenchReport(rep BenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== benchmark: trial hot path and campaigns (%s %s/%s, %d CPUs, seed %d) ==\n",
+		rep.GoVersion, rep.GOOS, rep.GOARCH, rep.NumCPU, rep.Seed)
+	fmt.Fprintf(&b, "baseline: %s\n", rep.Baseline.Commit)
+	benchLine(&b, "trial", rep.Trial, rep.Baseline.Trial)
+	benchLine(&b, "campaign/serial", rep.CampaignSerial, rep.Baseline.CampaignSerial)
+	benchLine(&b, "campaign/parallel", rep.CampaignParallel, rep.Baseline.CampaignParallel)
+	fmt.Fprintf(&b, "  %-18s serial %.0f trials/s, parallel %.0f trials/s (%d trials per campaign op)\n",
+		"throughput", rep.CampaignSerial.TrialsPerSec, rep.CampaignParallel.TrialsPerSec, rep.TrialsPerCampaignOp)
+	fmt.Fprintf(&b, "  %-18s gets %d, puts %d, news %d, recycled %d (%.1f%% of gets)\n",
+		"packet pool", rep.Pool.Gets, rep.Pool.Puts, rep.Pool.News, rep.Pool.Recycled,
+		safePct(rep.Pool.Recycled, rep.Pool.Gets))
+	fmt.Fprintf(&b, "  %-18s %.1f%% fewer allocs per trial than the pre-pooling seed\n",
+		"headline", rep.AllocReductionPct)
+	return b.String()
+}
+
+func safePct(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// CompareBenchReports diffs two BENCH_netem.json files (typically an
+// old artifact vs a fresh `make bench` run) section by section.
+func CompareBenchReports(oldRep, newRep BenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== benchmark comparison (old: %s/%s ×%d, new: %s/%s ×%d) ==\n",
+		oldRep.GOOS, oldRep.GOARCH, oldRep.NumCPU, newRep.GOOS, newRep.GOARCH, newRep.NumCPU)
+	fmt.Fprintf(&b, "%-18s %14s %14s %8s   %12s %12s %8s\n",
+		"", "old ns/op", "new ns/op", "Δ", "old allocs", "new allocs", "Δ")
+	row := func(name string, o, n BenchResult) {
+		fmt.Fprintf(&b, "%-18s %14.0f %14.0f %8s   %12d %12d %8s\n",
+			name, o.NsPerOp, n.NsPerOp, strings.TrimSpace(pctDelta(o.NsPerOp, n.NsPerOp)),
+			o.AllocsPerOp, n.AllocsPerOp,
+			strings.TrimSpace(pctDelta(float64(o.AllocsPerOp), float64(n.AllocsPerOp))))
+	}
+	row("trial", oldRep.Trial, newRep.Trial)
+	row("campaign/serial", oldRep.CampaignSerial, newRep.CampaignSerial)
+	row("campaign/parallel", oldRep.CampaignParallel, newRep.CampaignParallel)
+	if oldRep.CampaignParallel.TrialsPerSec > 0 && newRep.CampaignParallel.TrialsPerSec > 0 {
+		fmt.Fprintf(&b, "%-18s %14.0f %14.0f %8s   (parallel trials/sec)\n", "throughput",
+			oldRep.CampaignParallel.TrialsPerSec, newRep.CampaignParallel.TrialsPerSec,
+			strings.TrimSpace(pctDelta(oldRep.CampaignParallel.TrialsPerSec, newRep.CampaignParallel.TrialsPerSec)))
+	}
+	return b.String()
+}

@@ -14,18 +14,39 @@ import (
 // traces.
 func TestObsSerialParallelDeterminism(t *testing.T) {
 	scale := Scale{VPs: 2, Servers: 2, Trials: 1}
-	run := func(workers int) ([]Table1Row, *ObsSink) {
+	run := func(workers int, noPool bool) ([]Table1Row, *ObsSink) {
 		r := NewRunner(42)
 		r.Workers = workers
+		r.NoPool = noPool
 		r.Obs = NewObsSink()
 		rows := RunTable1Parallel(r, scale)
 		return rows, r.Obs
 	}
-	rowsSerial, obsSerial := run(1)
-	rowsPar, obsPar := run(8)
+	rowsSerial, obsSerial := run(1, false)
+	rowsPar, obsPar := run(8, false)
 
 	if !reflect.DeepEqual(rowsSerial, rowsPar) {
 		t.Errorf("table rows differ:\nserial: %+v\nparallel: %+v", rowsSerial, rowsPar)
+	}
+	// Packet pooling must be invisible to results: the heap-only control
+	// arm produces bit-identical rows and counters, serial and parallel.
+	rowsNoPool, obsNoPool := run(1, true)
+	rowsNoPoolPar, obsNoPoolPar := run(8, true)
+	if !reflect.DeepEqual(rowsSerial, rowsNoPool) {
+		t.Errorf("pooling changed table rows:\npooled: %+v\nheap: %+v", rowsSerial, rowsNoPool)
+	}
+	if !reflect.DeepEqual(rowsNoPool, rowsNoPoolPar) {
+		t.Errorf("heap-arm serial/parallel rows differ:\nserial: %+v\nparallel: %+v", rowsNoPool, rowsNoPoolPar)
+	}
+	if !reflect.DeepEqual(obsSerial.Snapshot().Counters, obsNoPool.Snapshot().Counters) {
+		t.Errorf("pooling changed counters:\npooled: %v\nheap: %v",
+			obsSerial.Snapshot().Counters, obsNoPool.Snapshot().Counters)
+	}
+	if !reflect.DeepEqual(obsSerial.Failures(), obsNoPool.Failures()) {
+		t.Errorf("pooling changed retained failure traces")
+	}
+	if !reflect.DeepEqual(obsNoPool.Snapshot().Counters, obsNoPoolPar.Snapshot().Counters) {
+		t.Errorf("heap-arm serial/parallel counters differ")
 	}
 	snapS, snapP := obsSerial.Snapshot(), obsPar.Snapshot()
 	if !reflect.DeepEqual(snapS.Counters, snapP.Counters) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"sync"
 	"time"
 
 	"intango/internal/appsim"
@@ -59,7 +60,29 @@ type Runner struct {
 	Obs *ObsSink
 	// Workers caps RunParallel's fan-out; 0 means GOMAXPROCS.
 	Workers int
+	// NoPool disables packet pooling: every trial then allocates its
+	// packets on the heap. The pooling determinism test uses it as the
+	// control arm; campaigns leave it false.
+	NoPool bool
+
+	poolOnce sync.Once
+	pool     *packet.Pool
 }
+
+// packetPool returns the runner's shared packet pool (nil when pooling
+// is disabled). One pool serves every trial and every parallel worker;
+// sync.Pool handles the concurrency.
+func (r *Runner) packetPool() *packet.Pool {
+	if r.NoPool {
+		return nil
+	}
+	r.poolOnce.Do(func() { r.pool = packet.NewPool() })
+	return r.pool
+}
+
+// PoolStats snapshots the shared packet pool's traffic counters (zero
+// when pooling is disabled or no trial has run).
+func (r *Runner) PoolStats() packet.PoolStats { return r.pool.Stats() }
 
 // NewRunner builds a runner with the default calibration.
 func NewRunner(seed int64) *Runner {
@@ -103,7 +126,7 @@ func (r *Runner) build(vp VantagePoint, srv Server, trialSeed int64) *rig {
 		}
 	}
 
-	rg.path = &netem.Path{Sim: rg.sim}
+	rg.path = &netem.Path{Sim: rg.sim, Pool: r.packetPool()}
 	for i := 0; i < hops; i++ {
 		rg.path.Hops = append(rg.path.Hops, &netem.Hop{Name: "r", Router: true, Latency: time.Millisecond})
 	}
@@ -152,6 +175,10 @@ func (r *Runner) build(vp VantagePoint, srv Server, trialSeed int64) *rig {
 	}
 
 	rg.cli = tcpstack.NewStack(vp.Addr, tcpstack.Linux44(), rg.sim)
+	// The engine interposes on the client end (NewEngine replaces
+	// cli.Send), so the client stack never runs AttachClient; hand it
+	// the pool directly.
+	rg.cli.Pool = rg.path.Pool
 	rg.srv = tcpstack.NewStack(srv.Addr, srv.Stack, rg.sim)
 	rg.srv.AttachServer(rg.path)
 	appsim.ServeHTTP(rg.srv, 80)

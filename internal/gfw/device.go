@@ -138,8 +138,13 @@ func (d *Device) Process(ctx *netem.Context, pkt *packet.Packet, dir netem.Direc
 func (d *Device) processTCPDatagram(ctx *netem.Context, pkt *packet.Packet) {
 	if pkt.IP.IsFragment() {
 		// The GFW reassembles IP fragments itself, preferring the first
-		// copy of overlapping fragment data (§3.2).
-		whole, err := d.frag.Add(pkt.Clone())
+		// copy of overlapping fragment data (§3.2). The reassembler
+		// copies everything it keeps, so the clone can be a pooled one
+		// released as soon as Add returns.
+		c := ctx.Path.Pool.Clone(pkt)
+		whole, err := d.frag.AddAt(c, ctx.Sim.Now())
+		c.Release()
+		d.countFragEvictions()
 		if err != nil || whole == nil {
 			return
 		}
@@ -149,6 +154,19 @@ func (d *Device) processTCPDatagram(ctx *netem.Context, pkt *packet.Packet) {
 		return
 	}
 	d.processTCP(ctx, pkt)
+}
+
+// countFragEvictions surfaces reassembler evictions (TTL or series-cap)
+// as device stats and an obs counter.
+func (d *Device) countFragEvictions() {
+	n := d.frag.TakeEvicted()
+	if n == 0 {
+		return
+	}
+	d.Stats["frag-evict"] += int(n)
+	if d.Obs != nil {
+		d.Obs.Registry().Add("gfw.frag-evict", n)
+	}
 }
 
 func (d *Device) processTCP(ctx *netem.Context, pkt *packet.Packet) {

@@ -49,9 +49,13 @@ func (d *Device) launchActiveProbe(ctx *netem.Context, bridge packet.Addr, port 
 	}
 	d.probes[tuple.Canonical()] = ps
 	d.event("tor-probe-launch", tuple, bridge.String())
+	// The path reuses one Context across arrivals, so copy it before
+	// capturing: by the time this fires, ctx points at a later packet's
+	// hop.
+	probeCtx := &netem.Context{Sim: ctx.Sim, Path: ctx.Path, HopIndex: ctx.HopIndex}
 	ctx.Sim.At(d.cfg.ActiveProbeDelay, func() {
-		syn := packet.NewTCP(ps.proberAddr, ps.proberPort, bridge, port, packet.FlagSYN, ps.iss, 0, nil)
-		d.injectToward(ctx, bridge, syn)
+		syn := probeCtx.Path.Pool.NewTCP(ps.proberAddr, ps.proberPort, bridge, port, packet.FlagSYN, ps.iss, 0, nil)
+		d.injectToward(probeCtx, bridge, syn)
 	})
 }
 
@@ -78,11 +82,11 @@ func (d *Device) proberPacket(ctx *netem.Context, pkt *packet.Packet) bool {
 		if tcp.HasFlag(packet.FlagSYN) && tcp.HasFlag(packet.FlagACK) && tcp.Ack == ps.iss.Add(1) {
 			ps.state = 1
 			// Complete the handshake and send a Tor-style hello.
-			ack := packet.NewTCP(ps.proberAddr, ps.proberPort, ps.bridge, ps.port,
+			ack := ctx.Path.Pool.NewTCP(ps.proberAddr, ps.proberPort, ps.bridge, ps.port,
 				packet.FlagACK, ps.iss.Add(1), tcp.Seq.Add(1), nil)
 			d.injectToward(ctx, ps.bridge, ack)
 			hello := torProbeHello()
-			data := packet.NewTCP(ps.proberAddr, ps.proberPort, ps.bridge, ps.port,
+			data := ctx.Path.Pool.NewTCP(ps.proberAddr, ps.proberPort, ps.bridge, ps.port,
 				packet.FlagPSH|packet.FlagACK, ps.iss.Add(1), tcp.Seq.Add(1), hello)
 			d.injectToward(ctx, ps.bridge, data)
 		} else if tcp.HasFlag(packet.FlagRST) {

@@ -134,9 +134,11 @@ func (s *stream) insert(seq packet.Seq, data []byte, lastWins bool) []dpi.Match 
 	}
 	off := int(seq.Diff(s.base))
 	end := off + len(data)
-	for end > len(s.buf) {
-		s.buf = append(s.buf, 0)
-		s.cover = append(s.cover, false)
+	if end > len(s.buf) {
+		// Grow both buffers to end in one step (append-zero loops are
+		// quadratic against large out-of-order jumps within the window).
+		s.buf = append(s.buf, make([]byte, end-len(s.buf))...)
+		s.cover = append(s.cover, make([]bool, end-len(s.cover))...)
 	}
 	for i, b := range data {
 		at := off + i

@@ -1,0 +1,46 @@
+package gfw
+
+import (
+	"testing"
+
+	"intango/internal/packet"
+)
+
+// TestKeywordDetectedAcrossSeqWrap forces the client's initial sequence
+// number to sit 8 bytes below 2^32, so the censored keyword in the
+// request straddles the 32-bit wraparound inside the device's stream
+// reassembler. The TCB's clientNext/serverNext tracking, the stream's
+// base/offset arithmetic, and the injected resets' sequence numbers all
+// cross the boundary; detection must still fire exactly once.
+func TestKeywordDetectedAcrossSeqWrap(t *testing.T) {
+	r := newRig(t, evolvedCfg())
+	r.cli.ForceISS = func() packet.Seq { return packet.Seq(0xFFFFFFF8) }
+
+	c := r.get(t, "/?q="+keyword)
+	if !c.GotRST {
+		t.Fatalf("keyword across seq wrap not reset; received %q", c.Received())
+	}
+	if got := r.countEvents("detect"); got != 1 {
+		t.Fatalf("detect events across wrap = %d, want 1", got)
+	}
+	if !r.dev.PairBlocked(cliAddr, srvAddr, r.sim.Now()) {
+		t.Fatal("pair not blocklisted after wrap-straddling detection")
+	}
+}
+
+// TestTCBTracksServerAcrossSeqWrap wraps the server side instead: the
+// SYN/ACK's sequence is just below 2^32, so serverNext and the type-2
+// reset volley (serverSeq + {0, 1460, 4380}) wrap. The volley must
+// still tear the client connection down.
+func TestTCBTracksServerAcrossSeqWrap(t *testing.T) {
+	r := newRig(t, evolvedCfg())
+	r.srv.ForceISS = func() packet.Seq { return packet.Seq(0xFFFFFFFE) }
+
+	c := r.get(t, "/?q="+keyword)
+	if !c.GotRST {
+		t.Fatalf("detection with wrapped server sequence not reset; received %q", c.Received())
+	}
+	if got := r.countEvents("inject-type2"); got == 0 {
+		t.Fatal("no type-2 volley despite detection")
+	}
+}

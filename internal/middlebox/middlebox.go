@@ -51,7 +51,16 @@ func (m *FragmentReassembler) Process(ctx *netem.Context, pkt *packet.Packet, di
 	if !pkt.IP.IsFragment() {
 		return netem.Pass
 	}
-	whole, err := m.r.Add(pkt.Clone())
+	// The reassembler copies everything it keeps, so the defensive clone
+	// can come from the path's pool and go straight back.
+	c := ctx.Path.Pool.Clone(pkt)
+	whole, err := m.r.AddAt(c, ctx.Sim.Now())
+	c.Release()
+	if n := m.r.TakeEvicted(); n > 0 {
+		if o := ctx.Obs(); o != nil {
+			o.Registry().Add("middlebox.frag-evict", n)
+		}
+	}
 	if err != nil || whole == nil {
 		return netem.Drop // buffered (or broken): the fragment itself stops here
 	}

@@ -105,10 +105,22 @@ type Path struct {
 	// deliberately, as the evasion strategies do.
 	MTU int
 
+	// Pool, when set, recycles packets at end-of-life points: link-loss
+	// and router drops, middlebox Drop verdicts, and after an endpoint's
+	// Deliver returns. Recycling is suppressed while Trace is attached,
+	// because TraceEvents retain *Packet pointers. Only pool-owned
+	// packets are recycled; heap packets pass through untouched.
+	Pool *packet.Pool
+
 	// counts accumulates per-event totals as plain increments — the
 	// path belongs to a single simulation, so no atomics are needed on
 	// the hot path. FlushCounters folds them into the registry.
 	counts [numPathEvents]uint64
+
+	// ctx is the scratch Context handed to taps and processors; reusing
+	// it keeps arrive allocation-free. Processors must not retain it
+	// past their Process call (the prober copies it before scheduling).
+	ctx Context
 }
 
 // TraceEvent is one observable packet event.
@@ -224,10 +236,19 @@ func pktKind(pkt *packet.Packet) string {
 	}
 }
 
+// release recycles a pool-owned packet at an end-of-life point. With a
+// Trace attached nothing is recycled: trace events hold the pointer.
+func (p *Path) release(pkt *packet.Packet) {
+	if p.Trace == nil {
+		pkt.Release()
+	}
+}
+
 // SendFromClient transmits pkt from the client end.
 func (p *Path) SendFromClient(pkt *packet.Packet) {
 	if p.MTU > 0 && wireSize(pkt) > p.MTU {
 		p.trace("client", evDropMTU, ToServer, pkt)
+		p.release(pkt)
 		return
 	}
 	p.trace("client", evSend, ToServer, pkt)
@@ -273,23 +294,33 @@ func (p *Path) linkFrom(idx int, dir Direction) (time.Duration, float64) {
 
 // emit schedules pkt's traversal of the link leaving element from in
 // direction dir, then processing at the next element. inject marks
-// mid-path injections (forged packets, rebuilt datagrams, ICMP).
+// mid-path injections (forged packets, rebuilt datagrams, ICMP). The
+// traversal rides a monomorphic packet event (AtPacket) rather than a
+// closure, so steady-state emission allocates nothing.
 func (p *Path) emit(from int, dir Direction, pkt *packet.Packet, extraDelay time.Duration, inject bool) {
 	if inject && from >= 0 && from < p.serverIndex() {
 		p.trace(p.Hops[from].Name, evInject, dir, pkt)
 	}
-	lat, loss := p.linkFrom(from, dir)
+	lat, _ := p.linkFrom(from, dir)
+	p.Sim.AtPacket(extraDelay+lat, p, pkt, from, dir)
+}
+
+// HandlePacket implements PacketHandler: the packet has finished
+// crossing the link leaving element from in direction dir. Loss is
+// recomputed here (linkFrom is pure) and the PRNG is drawn at fire
+// time, exactly as the old closure did, preserving the draw order.
+func (p *Path) HandlePacket(pkt *packet.Packet, from int, dir Direction) {
+	_, loss := p.linkFrom(from, dir)
 	next := from + 1
 	if dir == ToClient {
 		next = from - 1
 	}
-	p.Sim.At(extraDelay+lat, func() {
-		if loss > 0 && p.Sim.Rand().Float64() < loss {
-			p.trace(p.elementName(next), evDropLoss, dir, pkt)
-			return
-		}
-		p.arrive(next, dir, pkt)
-	})
+	if loss > 0 && p.Sim.Rand().Float64() < loss {
+		p.trace(p.elementName(next), evDropLoss, dir, pkt)
+		p.release(pkt)
+		return
+	}
+	p.arrive(next, dir, pkt)
 }
 
 func (p *Path) elementName(idx int) string {
@@ -311,16 +342,19 @@ func (p *Path) arrive(idx int, dir Direction, pkt *packet.Packet) {
 		if p.Client != nil {
 			p.Client.Deliver(pkt)
 		}
+		p.release(pkt)
 		return
 	case idx >= p.serverIndex():
 		p.trace("server", evDeliver, dir, pkt)
 		if p.Server != nil {
 			p.Server.Deliver(pkt)
 		}
+		p.release(pkt)
 		return
 	}
 	hop := p.Hops[idx]
-	ctx := &Context{Sim: p.Sim, Path: p, HopIndex: idx}
+	p.ctx.Sim, p.ctx.Path, p.ctx.HopIndex = p.Sim, p, idx
+	ctx := &p.ctx
 	for _, tap := range hop.Taps {
 		tap.Process(ctx, pkt, dir)
 	}
@@ -332,15 +366,18 @@ func (p *Path) arrive(idx int, dir Direction, pkt *packet.Packet) {
 		// insertion packets.
 		if !pkt.IP.VerifyChecksum() {
 			p.trace(hop.Name, evDropIPck, dir, pkt)
+			p.release(pkt)
 			return
 		}
 		if len(pkt.IP.Options) > 0 {
 			p.trace(hop.Name, evDropIPOpt, dir, pkt)
+			p.release(pkt)
 			return
 		}
 		if pkt.IP.TTL <= 1 {
 			p.trace(hop.Name, evDropTTL, dir, pkt)
 			p.sendTimeExceeded(idx, dir, pkt)
+			p.release(pkt)
 			return
 		}
 		pkt.IP.DecrementTTL()
@@ -354,6 +391,7 @@ func (p *Path) arrive(idx int, dir Direction, pkt *packet.Packet) {
 				p.Obs.Count("middlebox.drop-kind." + pktKind(pkt))
 			}
 			p.trace(hop.Name, evDropProc, dir, pkt)
+			p.release(pkt)
 			return
 		}
 	}
@@ -362,19 +400,11 @@ func (p *Path) arrive(idx int, dir Direction, pkt *packet.Packet) {
 }
 
 // sendTimeExceeded emits an ICMP Time-Exceeded from hop idx back toward
-// the packet's source.
+// the packet's source. With a pool attached the reply reuses pooled
+// storage; the heap fallback inside TimeExceededPacket handles the
+// rest.
 func (p *Path) sendTimeExceeded(idx int, dir Direction, orig *packet.Packet) {
-	msg := packet.TimeExceeded(orig)
-	reply := &packet.Packet{
-		IP: packet.IPv4Header{
-			TTL:      64,
-			Protocol: packet.ProtoICMP,
-			Src:      p.hopAddr(idx),
-			Dst:      orig.IP.Src,
-		},
-		ICMP: msg,
-	}
-	reply.Finalize()
+	reply := p.Pool.TimeExceededPacket(orig, p.hopAddr(idx))
 	p.emit(idx, dir.Flip(), reply, 0, true)
 }
 

@@ -7,10 +7,19 @@
 package netem
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
+
+	"intango/internal/packet"
 )
+
+// PacketHandler is the monomorphic alternative to a scheduled closure:
+// packet deliveries carry (handler, pkt, from, dir) in the event itself
+// instead of allocating a capturing func. Path implements it; so can
+// any model component with a per-packet timer.
+type PacketHandler interface {
+	HandlePacket(pkt *packet.Packet, from int, dir Direction)
+}
 
 // Simulator owns virtual time and the event queue. All model code runs
 // single-threaded inside Run, so no locking is needed anywhere in the
@@ -19,28 +28,34 @@ type Simulator struct {
 	now   time.Duration
 	seq   uint64
 	steps uint64
-	queue eventHeap
+	queue []event
 	rng   *rand.Rand
 }
 
+// event is a value type: the queue is a plain []event, so scheduling
+// never boxes (the old container/heap path allocated an interface
+// wrapper per Push/Pop). A popped slot is zeroed before reuse so the
+// backing array — which doubles as the free list — retains neither the
+// executed closure nor the delivered packet.
 type event struct {
 	at  time.Duration
 	seq uint64 // tie-break for determinism
 	fn  func()
+	// Packet-event fields, used when fn is nil.
+	h    PacketHandler
+	pkt  *packet.Packet
+	from int32
+	dir  Direction
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (at, seq) — the same strict total order as
+// the old heap, so replacing the heap shape cannot reorder ties.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // NewSimulator returns a simulator seeded for deterministic runs.
 func NewSimulator(seed int64) *Simulator {
@@ -60,19 +75,92 @@ func (s *Simulator) At(delay time.Duration, fn func()) {
 		delay = 0
 	}
 	s.seq++
-	heap.Push(&s.queue, event{at: s.now + delay, seq: s.seq, fn: fn})
+	s.push(event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// AtPacket schedules h.HandlePacket(pkt, from, dir) after delay without
+// allocating: the arguments ride in the event value itself. It shares
+// the (at, seq) order with At, so closure and packet events interleave
+// exactly as their scheduling order dictates.
+func (s *Simulator) AtPacket(delay time.Duration, h PacketHandler, pkt *packet.Packet, from int, dir Direction) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	s.push(event{at: s.now + delay, seq: s.seq, h: h, pkt: pkt, from: int32(from), dir: dir})
+}
+
+// The queue is a 4-ary implicit heap: children of i are 4i+1..4i+4,
+// parent is (i-1)/4. Compared to the binary container/heap it halves
+// tree depth (fewer sift levels for the mostly-FIFO workload here) and,
+// being monomorphic, costs zero allocations in steady state — append
+// only grows the backing array until the high-water mark of concurrent
+// events, after which popped slots are recycled.
+
+func (s *Simulator) push(e event) {
+	q := append(s.queue, e)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(&q[i], &q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	s.queue = q
+}
+
+// popTop removes the minimum event. The vacated tail slot is zeroed so
+// the backing array does not retain the popped closure or packet (long
+// campaigns previously kept every executed closure reachable).
+func (s *Simulator) popTop() event {
+	q := s.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{}
+	q = q[:n]
+	s.queue = q
+	i := 0
+	for {
+		best := i
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for ; c < end; c++ {
+			if eventLess(&q[c], &q[best]) {
+				best = c
+			}
+		}
+		if best == i {
+			break
+		}
+		q[i], q[best] = q[best], q[i]
+		i = best
+	}
+	return top
 }
 
 // Step executes the next event. It reports false when the queue is
 // empty.
 func (s *Simulator) Step() bool {
-	if s.queue.Len() == 0 {
+	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(event)
+	e := s.popTop()
 	s.now = e.at
 	s.steps++
-	e.fn()
+	if e.fn != nil {
+		e.fn()
+	} else {
+		e.h.HandlePacket(e.pkt, int(e.from), e.dir)
+	}
 	return true
 }
 
@@ -95,11 +183,11 @@ func (s *Simulator) Run(budget int) int {
 // clock to exactly now+d (even if the queue still holds later events).
 func (s *Simulator) RunFor(d time.Duration) {
 	deadline := s.now + d
-	for s.queue.Len() > 0 && s.queue[0].at <= deadline {
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
 		s.Step()
 	}
 	s.now = deadline
 }
 
 // Pending returns the number of queued events.
-func (s *Simulator) Pending() int { return s.queue.Len() }
+func (s *Simulator) Pending() int { return len(s.queue) }

@@ -30,3 +30,28 @@ func pseudoHeaderSum(src, dst Addr, proto uint8, l4len int) uint32 {
 	sum += uint32(l4len)
 	return sum
 }
+
+// foldChecksum folds a partial sum into the final one's-complement
+// checksum value, exactly as Checksum does after its byte loop.
+func foldChecksum(sum uint32) uint16 {
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// regionSum computes the partial checksum of a byte region that begins
+// at an even offset of the enclosing datagram (all header lengths here
+// are 4-byte multiples, so payloads and option blocks qualify). An odd
+// trailing byte is padded high, as in RFC 1071.
+func regionSum(data []byte) uint32 {
+	var sum uint32
+	i := 0
+	for ; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if i < len(data) {
+		sum += uint32(data[i]) << 8
+	}
+	return sum
+}

@@ -1,0 +1,122 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestChecksumArithmeticMatchesWire pins the field-arithmetic checksum
+// paths (Finalize, ComputeChecksum, VerifyChecksum, UpdateChecksum) to
+// the serialization-derived ground truth over randomized packets,
+// including odd payload lengths, options of every parity, fragments,
+// and lying RawDataOffset values.
+func TestChecksumArithmeticMatchesWire(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randAddr := func() Addr {
+		return AddrFrom4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+	}
+	randPayload := func() []byte {
+		b := make([]byte, rng.Intn(70))
+		rng.Read(b)
+		return b
+	}
+	for i := 0; i < 2000; i++ {
+		p := &Packet{IP: IPv4Header{
+			TOS: uint8(rng.Intn(256)), ID: uint16(rng.Intn(1 << 16)),
+			TTL: uint8(1 + rng.Intn(255)), Src: randAddr(), Dst: randAddr(),
+		}}
+		switch i % 3 {
+		case 0:
+			p.IP.Protocol = ProtoTCP
+			p.TCP = &TCPHeader{
+				SrcPort: uint16(rng.Intn(1 << 16)), DstPort: uint16(rng.Intn(1 << 16)),
+				Seq: Seq(rng.Uint32()), Ack: Seq(rng.Uint32()),
+				Flags: uint8(rng.Intn(64)), Window: uint16(rng.Intn(1 << 16)),
+				Urgent: uint16(rng.Intn(1 << 16)),
+			}
+			if rng.Intn(2) == 0 {
+				p.TCP.Options = append(p.TCP.Options, TimestampOption(rng.Uint32(), rng.Uint32()))
+			}
+			if rng.Intn(2) == 0 {
+				p.TCP.Options = append(p.TCP.Options, TCPOption{Kind: OptNOP}, MSSOption(uint16(rng.Intn(1<<16))))
+			}
+			if rng.Intn(4) == 0 {
+				var d [16]byte
+				rng.Read(d[:])
+				p.TCP.Options = append(p.TCP.Options, MD5Option(d))
+			}
+			p.Payload = randPayload()
+		case 1:
+			p.IP.Protocol = ProtoUDP
+			p.UDP = &UDPHeader{SrcPort: uint16(rng.Intn(1 << 16)), DstPort: uint16(rng.Intn(1 << 16))}
+			p.Payload = randPayload()
+		default:
+			p.IP.Protocol = ProtoICMP
+			body := make([]byte, rng.Intn(40))
+			rng.Read(body)
+			p.ICMP = &ICMPMessage{Type: uint8(rng.Intn(256)), Code: uint8(rng.Intn(256)), Body: body}
+			rng.Read(p.ICMP.Rest[:])
+		}
+		if rng.Intn(4) == 0 {
+			opts := make([]byte, 1+rng.Intn(8))
+			rng.Read(opts)
+			p.IP.Options = opts
+		}
+		if rng.Intn(4) == 0 {
+			p.IP.FragOffset = uint16(rng.Intn(1 << 13))
+			p.IP.Flags = uint8(rng.Intn(4))
+		}
+
+		p.Finalize()
+		// Ground truth: serialize with honest checksums and re-verify by
+		// full-buffer summation.
+		wire := p.Serialize(SerializeOptions{})
+		hl := p.IP.HeaderLen()
+		if got := Checksum(wire[:hl], 0); got != 0 {
+			t.Fatalf("case %d: IP checksum wrong on the wire (residual %#x)", i, got)
+		}
+		if !p.IP.VerifyChecksum() {
+			t.Fatalf("case %d: VerifyChecksum rejects a finalized header", i)
+		}
+		l4 := wire[hl:]
+		switch {
+		case p.TCP != nil:
+			if got := Checksum(l4, pseudoHeaderSum(p.IP.Src, p.IP.Dst, ProtoTCP, len(l4))); got != 0 {
+				t.Fatalf("case %d: TCP checksum wrong on the wire (residual %#x)", i, got)
+			}
+			if !p.TCP.VerifyChecksum(p.IP.Src, p.IP.Dst, p.Payload) {
+				t.Fatalf("case %d: TCP VerifyChecksum rejects a finalized header", i)
+			}
+			// ComputeChecksum honors a lying RawDataOffset; compare with
+			// the serialization path directly.
+			p.TCP.RawDataOffset = uint8(rng.Intn(16))
+			saved := p.TCP.Checksum
+			p.TCP.Checksum = 0
+			buf := p.TCP.SerializeTo(nil, p.IP.Src, p.IP.Dst, p.Payload, SerializeOptions{})
+			p.TCP.Checksum = saved
+			want := Checksum(buf, pseudoHeaderSum(p.IP.Src, p.IP.Dst, ProtoTCP, len(buf)))
+			if got := p.TCP.ComputeChecksum(p.IP.Src, p.IP.Dst, p.Payload); got != want {
+				t.Fatalf("case %d: ComputeChecksum = %#x, serialized = %#x (rawOff=%d)", i, got, want, p.TCP.RawDataOffset)
+			}
+		case p.UDP != nil:
+			sum := Checksum(l4, pseudoHeaderSum(p.IP.Src, p.IP.Dst, ProtoUDP, len(l4)))
+			if sum != 0 && p.UDP.Checksum != 0xffff {
+				t.Fatalf("case %d: UDP checksum wrong on the wire (residual %#x)", i, sum)
+			}
+		case p.ICMP != nil:
+			if got := Checksum(l4, 0); got != 0 {
+				t.Fatalf("case %d: ICMP checksum wrong on the wire (residual %#x)", i, got)
+			}
+		}
+		// Mutating the header must invalidate the arithmetic verify too.
+		p.IP.TTL ^= 0x55
+		if p.IP.TTL != 0 && p.IP.VerifyChecksum() {
+			t.Fatalf("case %d: VerifyChecksum accepted a corrupted header", i)
+		}
+		p.IP.TTL ^= 0x55
+		p.IP.UpdateChecksum()
+		if !p.IP.VerifyChecksum() {
+			t.Fatalf("case %d: UpdateChecksum/VerifyChecksum disagree", i)
+		}
+	}
+}

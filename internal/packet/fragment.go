@@ -2,6 +2,7 @@ package packet
 
 import (
 	"fmt"
+	"time"
 )
 
 // Fragment splits a finalized datagram into IP fragments whose L4
@@ -86,6 +87,9 @@ type fragSeries struct {
 	// otherwise the latest copy wins.
 	haveLast bool
 	totalLen int
+	// born is the virtual time the series was opened (AddAt); the
+	// expiry sweep evicts series older than the reassembler's TTL.
+	born time.Duration
 }
 
 // OverlapPolicy selects which copy of overlapping fragment/segment data
@@ -106,29 +110,80 @@ const (
 // Reassembler reassembles IP fragments into whole datagrams. Its
 // overlap policy is configurable because the divergence between
 // implementations is exactly what the evasion strategies exploit.
+//
+// Incomplete series do not linger forever: AddAt evicts series older
+// than TTL (virtual time) and, when MaxSeries is exceeded, the oldest
+// series — both real-implementation behaviours, and both necessary to
+// keep a long campaign's memory bounded against deliberately
+// unfinished fragment trains (the §3.2 evasions send plenty).
 type Reassembler struct {
 	Policy OverlapPolicy
-	series map[fragKey]*fragSeries
+	// TTL is how long an incomplete series may wait for its missing
+	// fragments; MaxSeries caps concurrently open series. Zero disables
+	// the corresponding limit. NewReassembler sets both defaults.
+	TTL       time.Duration
+	MaxSeries int
+
+	series  map[fragKey]*fragSeries
+	order   []seriesRef // series in creation order; may hold stale refs
+	evicted uint64
+	lastNow time.Duration
 }
 
-// NewReassembler returns a reassembler with the given overlap policy.
+// seriesRef pins an order entry to a specific series incarnation, so a
+// key reused after completion is not confused with its predecessor.
+type seriesRef struct {
+	key fragKey
+	s   *fragSeries
+}
+
+// Default reassembly limits: Linux uses 30s (ip_frag_time) and bounds
+// reassembly memory; 256 open series is far beyond anything the
+// simulated evasions produce in flight.
+const (
+	DefaultFragTTL       = 30 * time.Second
+	DefaultFragMaxSeries = 256
+)
+
+// NewReassembler returns a reassembler with the given overlap policy
+// and default expiry limits.
 func NewReassembler(policy OverlapPolicy) *Reassembler {
-	return &Reassembler{Policy: policy, series: make(map[fragKey]*fragSeries)}
+	return &Reassembler{
+		Policy:    policy,
+		TTL:       DefaultFragTTL,
+		MaxSeries: DefaultFragMaxSeries,
+		series:    make(map[fragKey]*fragSeries),
+	}
 }
 
-// Add offers a packet to the reassembler. Whole datagrams are returned
-// unchanged. Fragments are buffered; when a series completes, the
-// reassembled datagram is parsed and returned. Otherwise Add returns
-// nil.
+// Add offers a packet to the reassembler with no clock advance: expiry
+// still applies, measured against the latest time AddAt has seen.
 func (r *Reassembler) Add(p *Packet) (*Packet, error) {
+	return r.AddAt(p, r.lastNow)
+}
+
+// AddAt offers a packet to the reassembler at virtual time now. Whole
+// datagrams are returned unchanged. Fragments are buffered; when a
+// series completes, the reassembled datagram is parsed and returned.
+// Otherwise AddAt returns nil. Expired and over-cap series are evicted
+// first (see TakeEvicted).
+func (r *Reassembler) AddAt(p *Packet, now time.Duration) (*Packet, error) {
+	if now > r.lastNow {
+		r.lastNow = now
+	}
+	r.expire(r.lastNow)
 	if !p.IP.IsFragment() {
 		return p, nil
 	}
 	key := fragKey{src: p.IP.Src, dst: p.IP.Dst, proto: p.IP.Protocol, id: p.IP.ID}
 	s := r.series[key]
 	if s == nil {
-		s = &fragSeries{}
+		s = &fragSeries{born: r.lastNow}
 		r.series[key] = s
+		r.order = append(r.order, seriesRef{key: key, s: s})
+		for r.MaxSeries > 0 && len(r.series) > r.MaxSeries {
+			r.evictOldest()
+		}
 	}
 	var data []byte
 	if p.IP.FragOffset == 0 {
@@ -200,6 +255,51 @@ func (s *fragSeries) assemble(policy OverlapPolicy) ([]byte, bool) {
 		}
 	}
 	return buf, true
+}
+
+// expire evicts series whose TTL has elapsed at virtual time now,
+// draining stale order entries (completed series) as it goes.
+func (r *Reassembler) expire(now time.Duration) {
+	for len(r.order) > 0 {
+		ref := r.order[0]
+		if r.series[ref.key] != ref.s {
+			// Completed or already evicted; drop the stale entry.
+			r.order = r.order[1:]
+			continue
+		}
+		if r.TTL > 0 && now-ref.s.born >= r.TTL {
+			delete(r.series, ref.key)
+			r.order = r.order[1:]
+			r.evicted++
+			continue
+		}
+		break
+	}
+	if len(r.order) == 0 {
+		r.order = nil
+	}
+}
+
+// evictOldest drops the oldest live series (MaxSeries pressure).
+func (r *Reassembler) evictOldest() {
+	for len(r.order) > 0 {
+		ref := r.order[0]
+		r.order = r.order[1:]
+		if r.series[ref.key] == ref.s {
+			delete(r.series, ref.key)
+			r.evicted++
+			return
+		}
+	}
+}
+
+// TakeEvicted returns the number of series evicted (TTL or cap) since
+// the last call and resets the counter — the hook call sites use to
+// feed an observability counter.
+func (r *Reassembler) TakeEvicted() uint64 {
+	n := r.evicted
+	r.evicted = 0
+	return n
 }
 
 // Pending returns the number of incomplete fragment series held.

@@ -1,0 +1,117 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// makeFrags builds a two-fragment TCP datagram with the given IP ID.
+func makeFrags(t *testing.T, id uint16) []*Packet {
+	t.Helper()
+	p := NewTCP(AddrFrom4(10, 0, 0, 1), 4000, AddrFrom4(203, 0, 113, 80), 80,
+		FlagPSH|FlagACK, 100, 200, bytes.Repeat([]byte("a"), 20))
+	p.IP.ID = id
+	p.Finalize()
+	frags, err := Fragment(p, 48)
+	if err != nil {
+		t.Fatalf("Fragment: %v", err)
+	}
+	if len(frags) < 2 {
+		t.Fatalf("want >=2 fragments, got %d", len(frags))
+	}
+	return frags
+}
+
+// TestReassemblerExpiresStaleSeries: an incomplete series older than
+// TTL is evicted; the late fragment then opens a fresh series instead
+// of completing the stale one.
+func TestReassemblerExpiresStaleSeries(t *testing.T) {
+	r := NewReassembler(FirstWins)
+	frags := makeFrags(t, 1)
+
+	if whole, err := r.AddAt(frags[0], 0); err != nil || whole != nil {
+		t.Fatalf("first fragment: whole=%v err=%v", whole, err)
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("pending = %d", r.Pending())
+	}
+
+	// The closing fragment arrives after the TTL: the series must have
+	// been evicted, so reassembly cannot complete.
+	whole, err := r.AddAt(frags[1], DefaultFragTTL+time.Second)
+	if err != nil || whole != nil {
+		t.Fatalf("late fragment completed an expired series: whole=%v err=%v", whole, err)
+	}
+	if got := r.TakeEvicted(); got != 1 {
+		t.Fatalf("evicted = %d, want 1", got)
+	}
+	if r.TakeEvicted() != 0 {
+		t.Fatal("TakeEvicted did not reset")
+	}
+}
+
+// TestReassemblerCompletesWithinTTL: the happy path is untouched by the
+// expiry machinery.
+func TestReassemblerCompletesWithinTTL(t *testing.T) {
+	r := NewReassembler(FirstWins)
+	frags := makeFrags(t, 2)
+	r.AddAt(frags[0], 0)
+	whole, err := r.AddAt(frags[1], DefaultFragTTL-time.Second)
+	if err != nil || whole == nil {
+		t.Fatalf("in-time completion failed: whole=%v err=%v", whole, err)
+	}
+	if whole.TCP == nil || len(whole.Payload) != 20 {
+		t.Fatalf("reassembled datagram malformed: %v", whole)
+	}
+	if r.TakeEvicted() != 0 {
+		t.Fatal("spurious eviction")
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending = %d after completion", r.Pending())
+	}
+}
+
+// TestReassemblerSeriesCap: opening more concurrent series than
+// MaxSeries evicts the oldest, FIFO.
+func TestReassemblerSeriesCap(t *testing.T) {
+	r := NewReassembler(FirstWins)
+	r.MaxSeries = 3
+	series := make([][]*Packet, 5)
+	for i := range series {
+		series[i] = makeFrags(t, uint16(10+i))
+		r.AddAt(series[i][0], 0) // open, never complete
+	}
+	if r.Pending() != 3 {
+		t.Fatalf("pending = %d, want cap 3", r.Pending())
+	}
+	if got := r.TakeEvicted(); got != 2 {
+		t.Fatalf("evicted = %d, want 2", got)
+	}
+	// The two oldest series are gone; their closers open fresh series.
+	if whole, _ := r.AddAt(series[0][1], 0); whole != nil {
+		t.Fatal("evicted series 0 still completed")
+	}
+	// The newest survivor still completes.
+	if whole, _ := r.AddAt(series[4][1], 0); whole == nil {
+		t.Fatal("surviving series 4 failed to complete")
+	}
+}
+
+// TestReassemblerAddUsesLastSeenClock: plain Add (no clock) measures
+// TTL against the most recent AddAt time instead of resetting it.
+func TestReassemblerAddUsesLastSeenClock(t *testing.T) {
+	r := NewReassembler(FirstWins)
+	a := makeFrags(t, 30)
+	b := makeFrags(t, 31)
+	r.AddAt(a[0], 0)
+	// Advance the clock far past the TTL via an unrelated series.
+	r.AddAt(b[0], 2*DefaultFragTTL)
+	if r.TakeEvicted() != 1 {
+		t.Fatal("series a not expired by clock advance")
+	}
+	// Clock-less Add runs at the last seen time; series b is still young.
+	if whole, _ := r.Add(b[1]); whole == nil {
+		t.Fatal("series b should complete via Add")
+	}
+}

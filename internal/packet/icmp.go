@@ -43,6 +43,15 @@ func (m *ICMPMessage) SerializeTo(buf []byte, opts SerializeOptions) []byte {
 	return out
 }
 
+// computeChecksum returns the correct checksum for the current message
+// contents, arithmetically.
+func (m *ICMPMessage) computeChecksum() uint16 {
+	sum := uint32(m.Type)<<8 | uint32(m.Code)
+	sum += uint32(m.Rest[0])<<8 | uint32(m.Rest[1])
+	sum += uint32(m.Rest[2])<<8 | uint32(m.Rest[3])
+	return foldChecksum(sum + regionSum(m.Body))
+}
+
 // DecodeFromBytes parses an ICMP message.
 func (m *ICMPMessage) DecodeFromBytes(data []byte) error {
 	if len(data) < 8 {

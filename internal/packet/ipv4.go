@@ -149,17 +149,43 @@ func (h *IPv4Header) DecodeFromBytes(data []byte) (int, error) {
 	return hl, nil
 }
 
+// headerSum computes the partial checksum of the header words from the
+// fields directly, with the checksum field taken as zero. It mirrors
+// SerializeTo exactly, including the in-place padding of short option
+// blocks, so the arithmetic path and the wire bytes can never disagree.
+func (h *IPv4Header) headerSum() uint32 {
+	if len(h.Options)%4 != 0 {
+		pad := 4 - len(h.Options)%4
+		h.Options = append(h.Options, make([]byte, pad)...)
+	}
+	hl := h.HeaderLen()
+	sum := uint32(4<<4|uint8(hl/4))<<8 | uint32(h.TOS)
+	sum += uint32(h.TotalLength)
+	sum += uint32(h.ID)
+	sum += uint32(uint16(h.Flags)<<13 | h.FragOffset&0x1fff)
+	sum += uint32(h.TTL)<<8 | uint32(h.Protocol)
+	sum += uint32(h.Src[0])<<8 | uint32(h.Src[1])
+	sum += uint32(h.Src[2])<<8 | uint32(h.Src[3])
+	sum += uint32(h.Dst[0])<<8 | uint32(h.Dst[1])
+	sum += uint32(h.Dst[2])<<8 | uint32(h.Dst[3])
+	return sum + regionSum(h.Options)
+}
+
 // VerifyChecksum reports whether the header's checksum field is correct
-// for its current contents.
+// for its current contents. Computed arithmetically from the fields —
+// routers call this per hop per packet, so it must not serialize.
 func (h *IPv4Header) VerifyChecksum() bool {
-	buf := h.SerializeTo(nil, 0, SerializeOptions{})
-	return Checksum(buf, 0) == 0
+	sum := h.headerSum() + uint32(h.Checksum)
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return uint16(sum) == 0xffff
 }
 
 // UpdateChecksum recomputes the header checksum for the current field
 // values.
 func (h *IPv4Header) UpdateChecksum() {
-	h.SerializeTo(nil, 0, SerializeOptions{ComputeChecksums: true})
+	h.Checksum = foldChecksum(h.headerSum())
 }
 
 // DecrementTTL drops TTL by one and incrementally updates the header

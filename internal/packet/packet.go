@@ -56,6 +56,19 @@ type Packet struct {
 	// corrupted after finalization. Receivers that validate checksums
 	// honor the actual field; this flag exists only for trace labels.
 	BadTCPChecksum bool
+
+	// Pooling support: the owning pool plus inline header and buffer
+	// storage reused across incarnations (see pool.go). All zero for
+	// ordinary heap packets, whose Use*/SetPayload calls then simply
+	// borrow the embedded stores without recycling.
+	pool       *Pool
+	free       bool
+	tcpStore   TCPHeader
+	udpStore   UDPHeader
+	icmpStore  ICMPMessage
+	payloadBuf []byte
+	optBuf     []byte
+	ipOptBuf   []byte
 }
 
 // Tuple returns the flow four-tuple. For non-TCP/UDP packets the ports
@@ -110,24 +123,24 @@ func (p *Packet) Serialize(opts SerializeOptions) []byte {
 }
 
 // Finalize computes honest checksums and length fields in place. Call it
-// after crafting a packet, then corrupt individual fields as needed.
+// after crafting a packet, then corrupt individual fields as needed. It
+// works arithmetically from the fields (no serialization, no
+// allocation) — this is the single hottest crafting call in a trial.
 func (p *Packet) Finalize() *Packet {
-	opts := SerializeOptions{ComputeChecksums: true, FixLengths: true}
 	switch {
 	case p.TCP != nil:
-		p.TCP.SerializeTo(nil, p.IP.Src, p.IP.Dst, p.Payload, opts)
+		p.TCP.Checksum = p.TCP.checksumFixed(p.IP.Src, p.IP.Dst, p.Payload)
 		p.IP.SetLengths(p.TCP.HeaderLen() + len(p.Payload))
 	case p.UDP != nil:
-		p.UDP.SerializeTo(nil, p.IP.Src, p.IP.Dst, p.Payload, opts)
+		p.UDP.Length = uint16(UDPHeaderLen + len(p.Payload))
+		p.UDP.Checksum = p.UDP.computeChecksum(p.IP.Src, p.IP.Dst, p.Payload)
 		p.IP.SetLengths(UDPHeaderLen + len(p.Payload))
 	case p.ICMP != nil:
-		p.ICMP.SerializeTo(nil, opts)
+		p.ICMP.Checksum = p.ICMP.computeChecksum()
 		p.IP.SetLengths(8 + len(p.ICMP.Body))
 	default:
 		p.IP.SetLengths(len(p.Payload))
 	}
-	// Recompute only the header checksum: TotalLength was just set
-	// above and must not be clobbered by a zero-payload FixLengths.
 	p.IP.UpdateChecksum()
 	return p
 }

@@ -1,0 +1,161 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPoolRecyclesPackets(t *testing.T) {
+	pl := NewPool()
+	p1 := pl.Get()
+	if !p1.Pooled() {
+		t.Fatal("pooled packet not marked Pooled")
+	}
+	p1.Release()
+	p2 := pl.Get()
+	if p2 != p1 {
+		t.Fatal("Get did not recycle the released packet")
+	}
+	st := pl.Stats()
+	if st.Gets != 2 || st.Puts != 1 || st.News != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Recycled() != 1 {
+		t.Fatalf("recycled = %d, want 1", st.Recycled())
+	}
+}
+
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get()
+	p.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	p.Release()
+}
+
+func TestNilPoolFallsBackToHeap(t *testing.T) {
+	var pl *Pool
+	p := pl.Get()
+	if p == nil || p.Pooled() {
+		t.Fatalf("nil-pool Get: %v pooled=%v", p, p.Pooled())
+	}
+	p.Release() // no-op, must not panic
+	if st := pl.Stats(); st != (PoolStats{}) {
+		t.Fatalf("nil-pool stats = %+v", st)
+	}
+}
+
+// TestPooledCraftingMatchesHeap pins the pooled constructors to their
+// heap equivalents byte-for-byte on the wire, across reuse.
+func TestPooledCraftingMatchesHeap(t *testing.T) {
+	pl := NewPool()
+	src, dst := AddrFrom4(10, 0, 0, 1), AddrFrom4(203, 0, 113, 80)
+	for round := 0; round < 3; round++ {
+		heapTCP := NewTCP(src, 4000, dst, 80, FlagPSH|FlagACK, 1000, 2000, []byte("hello"))
+		poolTCP := pl.NewTCP(src, 4000, dst, 80, FlagPSH|FlagACK, 1000, 2000, []byte("hello"))
+		if !bytes.Equal(heapTCP.Serialize(SerializeOptions{}), poolTCP.Serialize(SerializeOptions{})) {
+			t.Fatalf("round %d: pooled TCP differs from heap TCP on the wire", round)
+		}
+
+		heapUDP := NewUDP(src, 53, dst, 53, []byte("query"))
+		poolUDP := pl.NewUDP(src, 53, dst, 53, []byte("query"))
+		if !bytes.Equal(heapUDP.Serialize(SerializeOptions{}), poolUDP.Serialize(SerializeOptions{})) {
+			t.Fatalf("round %d: pooled UDP differs from heap UDP on the wire", round)
+		}
+
+		poolTCP.Release()
+		poolUDP.Release()
+	}
+}
+
+// TestPooledOptionsMatchHeap covers the scratch-backed option builders
+// against the allocating TimestampOption/MSSOption path.
+func TestPooledOptionsMatchHeap(t *testing.T) {
+	pl := NewPool()
+	src, dst := AddrFrom4(10, 0, 0, 1), AddrFrom4(203, 0, 113, 80)
+	for round := 0; round < 3; round++ {
+		h := &Packet{
+			IP:  IPv4Header{TTL: 64, Protocol: ProtoTCP, Src: src, Dst: dst},
+			TCP: &TCPHeader{SrcPort: 1, DstPort: 2, Seq: 7, Flags: FlagSYN, Window: 100},
+		}
+		h.TCP.Options = append(h.TCP.Options, TimestampOption(111111, 222222), MSSOption(1460))
+		h.Finalize()
+
+		p := pl.Get()
+		p.IP = IPv4Header{TTL: 64, Protocol: ProtoTCP, Src: src, Dst: dst}
+		tcp := p.UseTCP()
+		tcp.SrcPort, tcp.DstPort = 1, 2
+		tcp.Seq, tcp.Flags, tcp.Window = 7, FlagSYN, 100
+		p.AddTimestampOption(111111, 222222)
+		p.AddMSSOption(1460)
+		p.Finalize()
+
+		if !bytes.Equal(h.Serialize(SerializeOptions{}), p.Serialize(SerializeOptions{})) {
+			t.Fatalf("round %d: scratch-built options differ on the wire", round)
+		}
+		p.Release()
+	}
+}
+
+// TestPooledCloneIsDeep verifies a pooled clone shares no storage with
+// its source.
+func TestPooledCloneIsDeep(t *testing.T) {
+	pl := NewPool()
+	src, dst := AddrFrom4(10, 0, 0, 1), AddrFrom4(203, 0, 113, 80)
+	orig := NewTCP(src, 1, dst, 2, FlagPSH|FlagACK, 10, 20, []byte("payload"))
+	orig.TCP.Options = append(orig.TCP.Options, TimestampOption(1, 2))
+	orig.IP.Options = []byte{7, 7}
+	orig.Finalize()
+
+	c := pl.Clone(orig)
+	want := orig.Serialize(SerializeOptions{})
+	if !bytes.Equal(want, c.Serialize(SerializeOptions{})) {
+		t.Fatal("clone differs from source on the wire")
+	}
+	// Mutating the original must not leak into the clone.
+	orig.Payload[0] = 'X'
+	orig.IP.Options[0] = 9
+	orig.TCP.Options[0].Data[0] = 9
+	if bytes.Equal(orig.Serialize(SerializeOptions{}), c.Serialize(SerializeOptions{})) {
+		t.Fatal("clone aliases the source's buffers")
+	}
+	if !bytes.Equal(want, c.Serialize(SerializeOptions{})) {
+		t.Fatal("clone changed when the source was mutated")
+	}
+	c.Release()
+}
+
+// TestPooledTimeExceededMatchesHeap pins Pool.TimeExceededPacket to the
+// heap TimeExceeded construction byte-for-byte, including the side
+// effect both share of finalizing the quoted original.
+func TestPooledTimeExceededMatchesHeap(t *testing.T) {
+	pl := NewPool()
+	src, dst := AddrFrom4(10, 0, 0, 1), AddrFrom4(203, 0, 113, 80)
+	router := AddrFrom4(10, 254, 0, 3)
+	for _, mk := range []func() *Packet{
+		func() *Packet { return NewTCP(src, 4000, dst, 80, FlagSYN, 42, 0, nil) },
+		func() *Packet { return NewUDP(src, 53, dst, 53, []byte("q")) },
+	} {
+		orig := mk()
+		orig.IP.TTL = 1
+		orig.Finalize()
+		heapReply := (&Packet{
+			IP:   IPv4Header{TTL: 64, Protocol: ProtoICMP, Src: router, Dst: orig.IP.Src},
+			ICMP: TimeExceeded(orig),
+		}).Finalize()
+
+		orig2 := mk()
+		orig2.IP.TTL = 1
+		orig2.Finalize()
+		poolReply := pl.TimeExceededPacket(orig2, router)
+
+		if !bytes.Equal(heapReply.Serialize(SerializeOptions{}), poolReply.Serialize(SerializeOptions{})) {
+			t.Fatal("pooled Time-Exceeded differs from heap construction on the wire")
+		}
+		poolReply.Release()
+	}
+}

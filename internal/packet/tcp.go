@@ -228,13 +228,53 @@ func (h *TCPHeader) VerifyChecksum(src, dst Addr, payload []byte) bool {
 }
 
 // ComputeChecksum returns the correct checksum for the current header
-// contents and payload without modifying the header.
+// contents and payload without modifying the header. It sums the fields
+// arithmetically — this runs per packet per checksum-validating
+// middlebox, so it must not serialize.
 func (h *TCPHeader) ComputeChecksum(src, dst Addr, payload []byte) uint16 {
-	saved := h.Checksum
-	h.Checksum = 0
-	buf := h.SerializeTo(nil, src, dst, payload, SerializeOptions{})
-	h.Checksum = saved
-	return Checksum(buf, pseudoHeaderSum(src, dst, ProtoTCP, len(buf)))
+	return h.checksumOver(src, dst, payload, false)
+}
+
+// checksumFixed is ComputeChecksum under FixLengths semantics: the
+// data-offset field is taken as the honest header length even when
+// RawDataOffset lies. Finalize uses it; it must match what SerializeTo
+// with FixLengths emits.
+func (h *TCPHeader) checksumFixed(src, dst Addr, payload []byte) uint16 {
+	return h.checksumOver(src, dst, payload, true)
+}
+
+func (h *TCPHeader) checksumOver(src, dst Addr, payload []byte, fixLengths bool) uint16 {
+	hl := h.HeaderLen()
+	sum := pseudoHeaderSum(src, dst, ProtoTCP, hl+len(payload))
+	sum += uint32(h.SrcPort) + uint32(h.DstPort)
+	sum += uint32(h.Seq)>>16 + uint32(h.Seq)&0xffff
+	sum += uint32(h.Ack)>>16 + uint32(h.Ack)&0xffff
+	off := uint8(hl / 4)
+	if !fixLengths && h.RawDataOffset != 0 {
+		off = h.RawDataOffset
+	}
+	sum += uint32(off<<4)<<8 | uint32(h.Flags)
+	sum += uint32(h.Window) + uint32(h.Urgent)
+	// Options, byte by byte with running parity: an odd-length option
+	// shifts the alignment of everything after it, exactly as on the
+	// wire. Trailing padding is zero and contributes nothing.
+	shift := uint(8)
+	for _, o := range h.Options {
+		sum += uint32(o.Kind) << shift
+		shift ^= 8
+		if o.Kind == OptEnd || o.Kind == OptNOP {
+			continue
+		}
+		sum += uint32(byte(2+len(o.Data))) << shift
+		shift ^= 8
+		for _, b := range o.Data {
+			sum += uint32(b) << shift
+			shift ^= 8
+		}
+	}
+	// The payload begins at offset hl, a 4-byte multiple, so its words
+	// align independently of the options region.
+	return foldChecksum(sum + regionSum(payload))
 }
 
 // Clone returns a deep copy of the header.

@@ -39,6 +39,19 @@ func (h *UDPHeader) SerializeTo(buf []byte, src, dst Addr, payload []byte, opts 
 	return out
 }
 
+// computeChecksum returns the correct checksum for the current header
+// fields (including whatever Length holds) and payload, arithmetically.
+// A computed zero maps to 0xffff per RFC 768.
+func (h *UDPHeader) computeChecksum(src, dst Addr, payload []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, ProtoUDP, UDPHeaderLen+len(payload))
+	sum += uint32(h.SrcPort) + uint32(h.DstPort) + uint32(h.Length)
+	ck := foldChecksum(sum + regionSum(payload))
+	if ck == 0 {
+		ck = 0xffff
+	}
+	return ck
+}
+
 // DecodeFromBytes parses a UDP header, returning the bytes consumed.
 func (h *UDPHeader) DecodeFromBytes(data []byte) (int, error) {
 	if len(data) < UDPHeaderLen {

@@ -181,22 +181,23 @@ func (c *Conn) tsNow() uint32 {
 	return uint32(c.stack.Sim.Now()/time.Millisecond) + 1000
 }
 
-// buildPacket assembles an outgoing segment for this connection.
+// buildPacket assembles an outgoing segment for this connection. The
+// packet comes from the stack's pool (heap when none is attached), so
+// its headers and buffers are recycled storage — receivers copy what
+// they keep.
 func (c *Conn) buildPacket(flags uint8, seq, ack packet.Seq, payload []byte) *packet.Packet {
-	p := &packet.Packet{
-		IP: packet.IPv4Header{TTL: 64, Protocol: packet.ProtoTCP, Src: c.local.addr, Dst: c.remote.addr},
-		TCP: &packet.TCPHeader{
-			SrcPort: c.local.port, DstPort: c.remote.port,
-			Seq: seq, Ack: ack, Flags: flags,
-			Window: uint16(min(c.rcvWnd, 0xffff)),
-		},
-		Payload: append([]byte(nil), payload...),
-	}
+	p := c.stack.Pool.Get()
+	p.IP = packet.IPv4Header{TTL: 64, Protocol: packet.ProtoTCP, Src: c.local.addr, Dst: c.remote.addr}
+	tcp := p.UseTCP()
+	tcp.SrcPort, tcp.DstPort = c.local.port, c.remote.port
+	tcp.Seq, tcp.Ack, tcp.Flags = seq, ack, flags
+	tcp.Window = uint16(min(c.rcvWnd, 0xffff))
+	p.SetPayload(payload)
 	if c.tsEnabled && c.stack.Profile.UseTimestamps {
-		p.TCP.Options = append(p.TCP.Options, packet.TimestampOption(c.tsNow(), c.tsRecent))
+		p.AddTimestampOption(c.tsNow(), c.tsRecent)
 	}
 	if flags&packet.FlagSYN != 0 {
-		p.TCP.Options = append(p.TCP.Options, packet.MSSOption(uint16(c.stack.Profile.MSS)))
+		p.AddMSSOption(uint16(c.stack.Profile.MSS))
 	}
 	return p.Finalize()
 }

@@ -55,6 +55,17 @@ type Stack struct {
 	// flight recorder. Nil (the default) costs one branch per segment.
 	Obs *obs.Obs
 
+	// Pool, when set, supplies recycled packets for every segment the
+	// stack crafts. AttachClient/AttachServer copy it from the path; a
+	// nil pool falls back to heap allocation transparently.
+	Pool *packet.Pool
+
+	// ForceISS, when set, overrides the random initial send sequence
+	// number for new connections (both ConnectFrom and accepted
+	// listeners). Wraparound regression tests pin it just below 2^32 so
+	// handshakes and data transfer cross the 32-bit boundary.
+	ForceISS func() packet.Seq
+
 	conns     map[connKey]*Conn
 	listeners map[uint16]Acceptor
 	udp       map[uint16]UDPHandler
@@ -86,12 +97,14 @@ func NewStack(addr packet.Addr, profile Profile, sim *netem.Simulator) *Stack {
 func (s *Stack) AttachClient(p *netem.Path) {
 	p.Client = s
 	s.Send = p.SendFromClient
+	s.Pool = p.Pool
 }
 
 // AttachServer wires the stack to the server end of a path.
 func (s *Stack) AttachServer(p *netem.Path) {
 	p.Server = s
 	s.Send = p.SendFromServer
+	s.Pool = p.Pool
 }
 
 func (s *Stack) send(pkt *packet.Packet) {
@@ -127,7 +140,7 @@ func (s *Stack) ListenUDP(port uint16, h UDPHandler) {
 
 // SendUDP transmits a UDP datagram.
 func (s *Stack) SendUDP(srcPort uint16, dst packet.Addr, dstPort uint16, payload []byte) {
-	s.send(packet.NewUDP(s.Addr, srcPort, dst, dstPort, payload))
+	s.send(s.Pool.NewUDP(s.Addr, srcPort, dst, dstPort, payload))
 }
 
 // AllocPort returns a fresh ephemeral port.
@@ -145,10 +158,19 @@ func (s *Stack) Connect(raddr packet.Addr, rport uint16) *Conn {
 	return s.ConnectFrom(s.AllocPort(), raddr, rport)
 }
 
+// chooseISS draws the initial send sequence number, honoring the
+// ForceISS test hook.
+func (s *Stack) chooseISS() packet.Seq {
+	if s.ForceISS != nil {
+		return s.ForceISS()
+	}
+	return packet.Seq(s.Sim.Rand().Uint32())
+}
+
 // ConnectFrom opens a connection from a specific local port.
 func (s *Stack) ConnectFrom(lport uint16, raddr packet.Addr, rport uint16) *Conn {
 	c := s.newConn(lport, raddr, rport)
-	c.iss = packet.Seq(s.Sim.Rand().Uint32())
+	c.iss = s.chooseISS()
 	c.sndUna = c.iss
 	c.sndNxt = c.iss
 	c.tsEnabled = s.Profile.UseTimestamps
@@ -178,7 +200,10 @@ func (s *Stack) Conn(lport uint16, raddr packet.Addr, rport uint16) (*Conn, bool
 // Deliver implements netem.Endpoint: the stack's receive path.
 func (s *Stack) Deliver(pkt *packet.Packet) {
 	if pkt.IP.IsFragment() {
-		whole, err := s.frag.Add(pkt)
+		whole, err := s.frag.AddAt(pkt, s.Sim.Now())
+		if n := s.frag.TakeEvicted(); n > 0 && s.Obs != nil {
+			s.Obs.Registry().Add("tcpstack.frag-evict", n)
+		}
 		if err != nil || whole == nil {
 			return
 		}
@@ -240,7 +265,7 @@ func (s *Stack) listenSegment(pkt *packet.Packet, accept Acceptor) {
 		return
 	case tcp.HasFlag(packet.FlagSYN):
 		c := s.newConn(tcp.DstPort, pkt.IP.Src, tcp.SrcPort)
-		c.iss = packet.Seq(s.Sim.Rand().Uint32())
+		c.iss = s.chooseISS()
 		c.sndUna = c.iss
 		c.sndNxt = c.iss
 		c.rcvNxt = tcp.Seq.Add(1)
@@ -259,18 +284,16 @@ func (s *Stack) listenSegment(pkt *packet.Packet, accept Acceptor) {
 // respondRST sends the RFC 793 reset for an orphan segment.
 func (s *Stack) respondRST(pkt *packet.Packet) {
 	tcp := pkt.TCP
-	rst := &packet.Packet{
-		IP: packet.IPv4Header{TTL: 64, Protocol: packet.ProtoTCP, Src: s.Addr, Dst: pkt.IP.Src},
-		TCP: &packet.TCPHeader{
-			SrcPort: tcp.DstPort, DstPort: tcp.SrcPort,
-		},
-	}
+	rst := s.Pool.Get()
+	rst.IP = packet.IPv4Header{TTL: 64, Protocol: packet.ProtoTCP, Src: s.Addr, Dst: pkt.IP.Src}
+	h := rst.UseTCP()
+	h.SrcPort, h.DstPort = tcp.DstPort, tcp.SrcPort
 	if tcp.HasFlag(packet.FlagACK) {
-		rst.TCP.Flags = packet.FlagRST
-		rst.TCP.Seq = tcp.Ack
+		h.Flags = packet.FlagRST
+		h.Seq = tcp.Ack
 	} else {
-		rst.TCP.Flags = packet.FlagRST | packet.FlagACK
-		rst.TCP.Ack = tcp.Seq.Add(pktSegLen(pkt))
+		h.Flags = packet.FlagRST | packet.FlagACK
+		h.Ack = tcp.Seq.Add(pktSegLen(pkt))
 	}
 	s.send(rst.Finalize())
 }
