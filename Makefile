@@ -1,15 +1,22 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-compare bench-obs
+.PHONY: check build fmt vet test race bench bench-smoke bench-compare bench-obs
 
-# check is the full gate: build, vet, tests, tests under the race
-# detector (the observability merge paths are the interesting part),
-# and a single-iteration pass over the hot-path benchmarks so a broken
-# benchmark can't sit unnoticed until the next `make bench`.
-check: build vet test race bench-smoke
+# check is the full gate: build, formatting, vet, tests, tests under
+# the race detector (the observability merge paths are the interesting
+# part), and a single-iteration pass over the hot-path benchmarks so a
+# broken benchmark can't sit unnoticed until the next `make bench`.
+check: build fmt vet test race bench-smoke
 
 build:
 	$(GO) build ./...
+
+# fmt fails (listing the offenders) if any file is not gofmt-clean.
+fmt:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...

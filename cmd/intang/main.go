@@ -4,14 +4,13 @@
 //
 // Usage:
 //
-//	intang [-strategy name|auto] [-keyword word] [-trials n] [-trace] [-stats] [-list]
+//	intang [-strategy name|spec|auto] [-keyword word] [-trials n] [-trace] [-stats] [-list]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
 	"intango/internal/appsim"
@@ -27,7 +26,7 @@ import (
 
 func main() {
 	var (
-		strategy = flag.String("strategy", "auto", "strategy name, 'none', or 'auto' (INTANG selection)")
+		strategy = flag.String("strategy", "auto", "strategy name, raw spec text, 'none', or 'auto' (INTANG selection)")
 		keyword  = flag.String("keyword", "ultrasurf", "sensitive keyword the simulated GFW censors")
 		trials   = flag.Int("trials", 5, "number of sensitive fetches")
 		seed     = flag.Int64("seed", 1, "simulation seed")
@@ -39,14 +38,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		names := make([]string, 0)
-		for name := range core.BuiltinFactories() {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Println(n)
-		}
+		fmt.Print(core.FormatStrategyTable())
 		return
 	}
 
@@ -84,9 +76,11 @@ func main() {
 	case "none":
 		engine = core.NewEngine(sim, path, cli, core.DefaultEnv(hops-1, sim.Rand()))
 	default:
-		factory, ok := core.BuiltinFactories()[*strategy]
+		// A registered name or raw spec text, e.g.
+		// -strategy 'on:first-payload[teardown(flags=rst,disc=ttl)]'.
+		factory, _, ok := core.ResolveStrategy(*strategy)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown strategy %q (try -list)\n", *strategy)
+			fmt.Fprintf(os.Stderr, "unknown strategy %q: not a registered name (try -list) and not spec text\n", *strategy)
 			os.Exit(2)
 		}
 		engine = core.NewEngine(sim, path, cli, core.DefaultEnv(hops-1, sim.Rand()))

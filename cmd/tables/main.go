@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		what     = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,obs,bench,bench-compare,figures")
+		what     = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,obs,bench,bench-compare,figures,strategies")
 		scale    = flag.String("scale", "quick", "campaign scale: quick, mid, paper")
 		seed     = flag.Int64("seed", 42, "population/campaign seed")
 		benchOut = flag.String("bench-out", "BENCH_netem.json", "report path for -what bench")
@@ -52,9 +52,7 @@ func main() {
 
 	if want("1") {
 		ran = true
-		fmt.Printf("== Table 1: existing strategies (%d VPs × %d servers × %d trials) ==\n", sc.VPs, sc.Servers, sc.Trials)
-		fmt.Print(experiment.FormatTable1(experiment.RunTable1Parallel(r, sc)))
-		fmt.Println()
+		experiment.WriteTable1Campaign(os.Stdout, r, sc)
 	}
 	if want("2") {
 		ran = true
@@ -75,25 +73,11 @@ func main() {
 	}
 	if want("4") {
 		ran = true
-		fmt.Printf("== Table 4: new strategies (%d servers × %d trials) ==\n", sc.Servers, sc.Trials)
-		inside := experiment.RunTable4Parallel(r, experiment.VantagePoints(), experiment.Servers(sc.Servers, r.Cal, *seed), sc.Trials)
-		inside = append(inside, experiment.RunTable4INTANG(r,
-			experiment.VantagePoints(), experiment.Servers(sc.Servers/2+1, r.Cal, *seed), sc.Trials))
-		fmt.Print(experiment.FormatTable4("Inside China", inside))
-		outN := sc.Servers / 2
-		if outN < 4 {
-			outN = 4
-		}
-		outside := experiment.RunTable4Parallel(r, experiment.OutsideVantagePoints(),
-			experiment.OutsideServers(outN, r.Cal, *seed), sc.Trials)
-		fmt.Print(experiment.FormatTable4("Outside China", outside))
-		fmt.Println()
+		experiment.WriteTable4Campaign(os.Stdout, r, sc)
 	}
 	if want("5") {
 		ran = true
-		fmt.Println("== Table 5: preferred insertion-packet constructions ==")
-		fmt.Print(experiment.FormatTable5(experiment.RunTable5(r)))
-		fmt.Println()
+		experiment.WriteTable5Campaign(os.Stdout, r)
 	}
 	if want("6") {
 		ran = true
@@ -226,6 +210,12 @@ func main() {
 		}
 		fmt.Print(experiment.CompareBenchReports(load(args[0]), load(args[1])))
 	}
+	// Reference dump, not a paper artifact: "-what all" skips it.
+	if *what == "strategies" {
+		ran = true
+		fmt.Println("== strategy registry: name ↔ spec ==")
+		fmt.Print(core.FormatStrategyTable())
+	}
 	if want("figures") {
 		ran = true
 		fmt.Println(experiment.Figure1(r))
@@ -234,7 +224,7 @@ func main() {
 		fmt.Println(experiment.Figure4(r))
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,obs,bench,bench-compare,figures\n", *what)
+		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,obs,bench,bench-compare,figures,strategies\n", *what)
 		os.Exit(2)
 	}
 }

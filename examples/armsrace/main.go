@@ -1,29 +1,106 @@
-// armsrace walks the §8 countermeasure ladder: each hardening the
-// paper discusses for the GFW, what it breaks, what survives, and the
-// counter-move it opens — the arms race, playable.
+// armsrace plays the §8 arms race with the declarative spec layer:
+// starting from the Table 4 winner strategies, it enumerates single-edit
+// mutations of their specs (every disc= swapped through the Table 5
+// discrepancy vocabulary, every teardown flags= swapped through the
+// RST/RST+ACK/FIN+ACK variants), deduplicates by canonical spec string,
+// and runs each mutant end-to-end against two censors: the measured
+// 2017 GFW and a §8-hardened one with every discussed countermeasure
+// switched on (checksum validation, MD5 rejection, data trusted only
+// after the server ACKs it). The grid shows what each hardening breaks
+// and what survives — Ptacek & Newsham's ambiguity is structural: no
+// hardening eliminates every mutant.
 package main
 
 import (
 	"fmt"
+	"strings"
 
 	"intango"
 )
 
-func run(name string, gfwCfg intango.GFWConfig, serverOld bool, strategy string) string {
-	cfg := intango.PlaygroundConfig{Seed: 9, GFW: gfwCfg}
-	if serverOld {
-		cfg.ServerStack = oldServer()
-	}
-	pg := intango.NewPlayground(cfg)
-	var factory intango.StrategyFactory
-	if strategy != "none" {
-		factory = intango.Strategies()[strategy]
-	}
-	conn := pg.Fetch("/?q=ultrasurf", factory)
-	return pg.Outcome(conn)
+// winners are the Table 4 strategies the mutation walk starts from.
+var winners = []string{
+	"improved-teardown",
+	"improved-prefill",
+	"creation-resync-desync",
+	"teardown-reversal",
 }
 
-func baseGFW() intango.GFWConfig {
+var discVocab = []string{"ttl", "md5", "bad-checksum", "bad-ack", "old-timestamp"}
+var flagVocab = []string{"rst", "rstack", "finack"}
+
+// mutant is one candidate strategy in the race.
+type mutant struct {
+	origin string // winner alias it was derived from ("" for the winner itself)
+	spec   intango.StrategySpec
+}
+
+// mutations generates every single-argument edit of text: each disc=
+// occurrence swapped through discVocab, each flags= occurrence swapped
+// through flagVocab. Results are re-parsed, so only grammatical
+// mutants survive.
+func mutations(text string) []intango.StrategySpec {
+	var out []intango.StrategySpec
+	swap := func(key string, vocab []string) {
+		for pos := 0; ; {
+			i := strings.Index(text[pos:], key)
+			if i < 0 {
+				break
+			}
+			start := pos + i + len(key)
+			end := start
+			for end < len(text) && (text[end] == '-' || text[end] >= 'a' && text[end] <= 'z' ||
+				text[end] >= '0' && text[end] <= '9') {
+				end++
+			}
+			old := text[start:end]
+			for _, v := range vocab {
+				if v == old {
+					continue
+				}
+				if spec, err := intango.ParseSpec(text[:start] + v + text[end:]); err == nil {
+					out = append(out, spec)
+				}
+			}
+			pos = end
+		}
+	}
+	swap("disc=", discVocab)
+	swap("flags=", flagVocab)
+	return out
+}
+
+// enumerate builds the deduplicated mutant population: the winners
+// themselves plus every distinct single-edit mutation.
+func enumerate() []mutant {
+	seen := make(map[string]bool)
+	var pop []mutant
+	add := func(origin string, spec intango.StrategySpec) {
+		canon := spec.String()
+		if seen[canon] {
+			return
+		}
+		seen[canon] = true
+		pop = append(pop, mutant{origin, spec})
+	}
+	byAlias := make(map[string]intango.StrategySpec)
+	for _, e := range intango.RegisteredStrategies() {
+		byAlias[e.Alias] = e.Spec
+	}
+	for _, alias := range winners {
+		spec, ok := byAlias[alias]
+		if !ok {
+			panic("unknown winner " + alias)
+		}
+		add("", spec)
+		for _, m := range mutations(spec.String()) {
+			add(alias, m)
+		}
+	}
+	return pop
+}
+
+func measuredGFW() intango.GFWConfig {
 	return intango.GFWConfig{
 		Model:             intango.ModelEvolved2017,
 		Keywords:          []string{"ultrasurf"},
@@ -31,44 +108,48 @@ func baseGFW() intango.GFWConfig {
 	}
 }
 
-func main() {
-	fmt.Println("Round 0 — the measured 2017 GFW:")
-	fmt.Printf("  no strategy:            %s\n", run("measured", baseGFW(), false, "none"))
-	fmt.Printf("  improved-teardown:      %s\n", run("measured", baseGFW(), false, "improved-teardown"))
-	fmt.Printf("  prefill/bad-checksum:   %s\n", run("measured", baseGFW(), false, "prefill/bad-checksum"))
-
-	fmt.Println("\nRound 1 — censor validates TCP checksums:")
-	g := baseGFW()
+func hardenedGFW() intango.GFWConfig {
+	g := measuredGFW()
 	g.ValidateTCPChecksum = true
-	fmt.Printf("  prefill/bad-checksum:   %s   (insertion family dead)\n", run("ck", g, false, "prefill/bad-checksum"))
-	fmt.Printf("  improved-teardown:      %s   (TTL+MD5 untouched)\n", run("ck", g, false, "improved-teardown"))
-
-	fmt.Println("\nRound 2 — censor also ignores unsolicited-MD5 packets:")
 	g.ValidateMD5 = true
-	fmt.Printf("  improved-teardown:      %s   (its TTL RST still lands)\n", run("md5", g, false, "improved-teardown"))
-	fmt.Printf("  md5-request vs 4.4:     %s   (server validates MD5 too)\n", run("md5", g, false, "md5-request"))
-	fmt.Printf("  md5-request vs 2.4.37:  %s   (§8's opened counter-move)\n", run("md5", g, true, "md5-request"))
-
-	fmt.Println("\nRound 3 — censor trusts client data only after the server ACKs it:")
-	g2 := baseGFW()
-	g2.TrustDataAfterServerACK = true
-	fmt.Printf("  creation-resync-desync: %s   (the junk range is never ACKed)\n", run("ack", g2, false, "creation-resync-desync"))
-	fmt.Printf("  improved-prefill:       %s   (the ACK covers both copies!)\n", run("ack", g2, false, "improved-prefill"))
-	fmt.Printf("  teardown-reversal:      %s   (orientation confusion unaffected)\n", run("ack", g2, false, "teardown-reversal"))
-
-	fmt.Println("\nThe ambiguity Ptacek & Newsham described is structural: every")
-	fmt.Println("hardening shifts which strategies work, none eliminates them all.")
+	g.TrustDataAfterServerACK = true
+	return g
 }
 
-// oldServer returns a pre-RFC-2385 stack profile via the experiment
-// population (Linux 2.4.37).
-func oldServer() intango.StackProfile {
-	for _, p := range allProfiles() {
-		if p.Name == "linux-2.4.37" {
-			return p
+// run fetches a censored page once through spec against the censor and
+// returns the paper-notation outcome.
+func run(gfwCfg intango.GFWConfig, spec intango.StrategySpec) string {
+	pg := intango.NewPlayground(intango.PlaygroundConfig{Seed: 9, GFW: gfwCfg})
+	conn := pg.Fetch("/?q=ultrasurf", intango.CompileSpec(spec))
+	return pg.Outcome(conn)
+}
+
+func main() {
+	pop := enumerate()
+	fmt.Printf("arms race: %d distinct specs (4 Table 4 winners + single-edit mutants)\n", len(pop))
+	fmt.Println("censors: measured = evolved 2017 GFW; hardened = +checksum +md5 +ack-trust (§8)")
+	fmt.Println()
+	fmt.Printf("%-9s %-9s %-22s %s\n", "measured", "hardened", "origin", "spec")
+
+	var survivors []mutant
+	for _, m := range pop {
+		a := run(measuredGFW(), m.spec)
+		b := run(hardenedGFW(), m.spec)
+		origin := m.origin
+		if origin == "" {
+			origin = "(winner)"
+		}
+		fmt.Printf("%-9s %-9s %-22s %s\n", a, b, origin, m.spec)
+		if b == "success" {
+			survivors = append(survivors, m)
 		}
 	}
-	panic("missing profile")
-}
 
-func allProfiles() []intango.StackProfile { return intango.StackProfiles() }
+	fmt.Println()
+	fmt.Printf("%d/%d mutants still evade the fully hardened censor:\n", len(survivors), len(pop))
+	for _, m := range survivors {
+		fmt.Printf("  %s\n", m.spec)
+	}
+	fmt.Println()
+	fmt.Println("Every §8 hardening reshuffles which mutants work; none empties the set.")
+}

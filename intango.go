@@ -53,6 +53,14 @@ type (
 	// Discrepancy selects how an insertion packet is made
 	// server-invisible (TTL, bad checksum, MD5 option, ...).
 	Discrepancy = core.Discrepancy
+	// StrategySpec is a declarative strategy specification — a set of
+	// trigger→action rules with a canonical single-line text encoding
+	// (see ParseSpec / CompileSpec and DESIGN.md "Strategy
+	// composition").
+	StrategySpec = core.Spec
+	// StrategyEntry pairs a built-in strategy's table alias with its
+	// spec.
+	StrategyEntry = core.Entry
 	// Engine is the client-side interception engine strategies run in.
 	Engine = core.Engine
 	// GFWConfig parameterizes a censor device model.
@@ -105,6 +113,22 @@ func StackProfiles() []StackProfile { return tcpstack.AllProfiles() }
 func Strategies() map[string]StrategyFactory {
 	return core.BuiltinFactories()
 }
+
+// ParseSpec parses the single-line strategy grammar, e.g.
+//
+//	on:first-payload[teardown(flags=rst,disc=ttl); inject(desync)]
+//
+// The result round-trips: ParseSpec(spec.String()) == spec.
+func ParseSpec(text string) (StrategySpec, error) { return core.ParseSpec(text) }
+
+// CompileSpec compiles a spec into a per-connection strategy factory
+// usable with Playground.Fetch or an Engine.
+func CompileSpec(spec StrategySpec) StrategyFactory { return spec.Factory() }
+
+// RegisteredStrategies lists the built-in suite as (alias, spec) pairs
+// in table order — the same inventory `cmd/tables -what strategies`
+// prints.
+func RegisteredStrategies() []StrategyEntry { return core.Registry() }
 
 // NewINTANG wires an INTANG instance between a client stack and the
 // client end of a path.

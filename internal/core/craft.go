@@ -36,6 +36,11 @@ const (
 	DiscOldTimestamp
 	// DiscNoFlag clears all TCP flags (Table 3 row 7).
 	DiscNoFlag
+
+	// DiscNone applies no discrepancy: the insertion packet is a plain,
+	// well-formed packet that reaches the server (the West Chamber
+	// baseline — exactly why the paper found that tool ineffective).
+	DiscNone Discrepancy = -1
 )
 
 // String names the discrepancy as it appears in the paper's tables.
@@ -53,9 +58,22 @@ func (d Discrepancy) String() string {
 		return "old-timestamp"
 	case DiscNoFlag:
 		return "no-flag"
+	case DiscNone:
+		return "none"
 	default:
 		return fmt.Sprintf("disc(%d)", int(d))
 	}
+}
+
+// ParseDiscrepancy inverts Discrepancy.String — the spec parser's
+// vocabulary for the disc= argument.
+func ParseDiscrepancy(s string) (Discrepancy, bool) {
+	for _, d := range []Discrepancy{DiscTTL, DiscBadChecksum, DiscBadAck, DiscMD5, DiscOldTimestamp, DiscNoFlag, DiscNone} {
+		if d.String() == s {
+			return d, true
+		}
+	}
+	return 0, false
 }
 
 // PreferredDiscrepancies is Table 5: which insertion-packet
@@ -117,6 +135,8 @@ func (e *Env) Apply(pkt *packet.Packet, d Discrepancy) *packet.Packet {
 		pkt.Finalize()
 	case DiscNoFlag:
 		pkt.TCP.Flags = 0
+		pkt.Finalize()
+	case DiscNone:
 		pkt.Finalize()
 	}
 	return pkt

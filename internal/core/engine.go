@@ -135,6 +135,12 @@ func (e *Engine) emit(emissions []Emission) {
 	}
 	if !hasInsertion {
 		for _, em := range emissions {
+			if d := em.Delay; d > 0 {
+				em := em
+				em.Delay = 0
+				e.Sim.At(d, func() { e.send(em) })
+				continue
+			}
 			e.send(em)
 		}
 		return
@@ -149,10 +155,10 @@ func (e *Engine) emit(emissions []Emission) {
 				// Each wave sends its own copy; pooled clones let the
 				// path recycle them at end-of-life.
 				clone := e.Path.Pool.Clone(em.Pkt)
-				e.Sim.At(delay, func() { e.send(Emission{Pkt: clone, Insertion: true}) })
+				e.Sim.At(delay+em.Delay, func() { e.send(Emission{Pkt: clone, Insertion: true}) })
 			case last:
 				p := em.Pkt
-				e.Sim.At(finalWave, func() { e.send(Emission{Pkt: p}) })
+				e.Sim.At(finalWave+em.Delay, func() { e.send(Emission{Pkt: p}) })
 			}
 		}
 	}

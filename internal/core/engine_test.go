@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
@@ -146,6 +147,43 @@ func TestEngineNoStrategySendsNothingExtra(t *testing.T) {
 	r.runTrial(t)
 	if count != 0 {
 		t.Fatalf("passthrough emitted %d insertions", count)
+	}
+}
+
+func TestSharedStrategyInstanceAcrossFlows(t *testing.T) {
+	// A Spec factory hands every connection the same *Compiled instance:
+	// all trigger state must therefore live on the Flow. Two sequential
+	// connections through one engine must each get their own insertions
+	// — if the first connection's one-shot consumed shared state, the
+	// second would sail out unprotected.
+	r := newTrialRig(t, evolved(), SpecImprovedTeardown().FactoryAs("improved-teardown"), nil)
+	insertions := make(map[uint16]int) // client port → insertion count
+	r.engine.OnOutboundRaw = func(em Emission) {
+		if em.Insertion {
+			insertions[em.Pkt.TCP.SrcPort]++
+		}
+	}
+	var ports []uint16
+	for i := 0; i < 2; i++ {
+		c := r.cli.Connect(srvAddr, 80)
+		ports = append(ports, c.LocalPort())
+		r.sim.RunFor(200 * time.Millisecond)
+		if c.State() != tcpstack.Established {
+			t.Fatalf("connection %d state = %v", i, c.State())
+		}
+		c.Write([]byte("GET /?q=" + keyword + " HTTP/1.1\r\nHost: example.com\r\n\r\n"))
+		r.sim.RunFor(5 * time.Second)
+		if !bytes.Contains(c.Received(), []byte("200 OK")) {
+			t.Fatalf("connection %d did not evade", i)
+		}
+	}
+	if ports[0] == ports[1] {
+		t.Fatalf("both connections used port %d", ports[0])
+	}
+	for i, p := range ports {
+		if insertions[p] == 0 {
+			t.Errorf("connection %d (port %d) emitted no insertions: one-shot state leaked across flows", i, p)
+		}
 	}
 }
 

@@ -1,0 +1,496 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the declarative half of the strategy layer: a Spec is a
+// list of trigger→actions rules with a canonical single-line text
+// encoding, e.g.
+//
+//	on:first-payload[teardown(flags=rst,disc=ttl); inject(desync)]
+//
+// ParseSpec and Spec.String round-trip, so a spec string is a stable
+// identity for a strategy: the INTANG result cache, the table runners
+// and the arms-race enumerator all key off it. Compilation to the
+// imperative Strategy interface lives in primitives.go.
+
+// Phase is the trigger point of a rule within a connection's life.
+type Phase int
+
+const (
+	// PhaseHandshake fires once, on the client's initial SYN.
+	PhaseHandshake Phase = iota
+	// PhaseFirstPayload fires once, on the first packet carrying client
+	// payload (where most of the paper's strategies act).
+	PhaseFirstPayload
+	// PhasePayload fires on every packet carrying client payload.
+	PhasePayload
+	// PhaseSegment fires on every outbound TCP packet.
+	PhaseSegment
+)
+
+// String names the phase as it appears in spec text.
+func (ph Phase) String() string {
+	switch ph {
+	case PhaseHandshake:
+		return "handshake"
+	case PhaseFirstPayload:
+		return "first-payload"
+	case PhasePayload:
+		return "payload"
+	case PhaseSegment:
+		return "segment"
+	default:
+		return fmt.Sprintf("phase(%d)", int(ph))
+	}
+}
+
+func parsePhase(s string) (Phase, bool) {
+	for _, ph := range []Phase{PhaseHandshake, PhaseFirstPayload, PhasePayload, PhaseSegment} {
+		if ph.String() == s {
+			return ph, true
+		}
+	}
+	return 0, false
+}
+
+// Trigger decides when a rule's actions run.
+type Trigger struct {
+	Phase Phase
+	// Min suppresses the trigger while the packet's payload is shorter
+	// than Min bytes (without consuming a one-shot phase).
+	Min int
+	// Rexmit re-fires a one-shot trigger on retransmissions of the
+	// packet that first fired it, so a lossy path never sees the
+	// original segment on the wire.
+	Rexmit bool
+}
+
+// String renders the trigger in canonical form.
+func (tr Trigger) String() string {
+	s := "on:" + tr.Phase.String()
+	var args []string
+	if tr.Min > 0 {
+		args = append(args, fmt.Sprintf("min=%d", tr.Min))
+	}
+	if tr.Rexmit {
+		args = append(args, "rexmit")
+	}
+	if len(args) > 0 {
+		s += "(" + strings.Join(args, ",") + ")"
+	}
+	return s
+}
+
+// Rule pairs a trigger with the action pipeline it releases.
+type Rule struct {
+	Trigger Trigger
+	Actions []Action
+}
+
+// String renders the rule in canonical form.
+func (r Rule) String() string {
+	parts := make([]string, len(r.Actions))
+	for i, a := range r.Actions {
+		parts[i] = a.encode()
+	}
+	return r.Trigger.String() + "[" + strings.Join(parts, "; ") + "]"
+}
+
+// Spec is a complete declarative strategy: rules are checked in order
+// against each outbound packet and every matching rule's actions are
+// applied to the emission plan. The zero Spec is the passthrough
+// baseline and encodes as "pass".
+type Spec struct {
+	Rules []Rule
+}
+
+// String renders the canonical single-line encoding. ParseSpec inverts
+// it exactly: ParseSpec(s.String()).String() == s.String().
+func (s Spec) String() string {
+	if len(s.Rules) == 0 {
+		return "pass"
+	}
+	parts := make([]string, len(s.Rules))
+	for i, r := range s.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// MustParseSpec is ParseSpec for statically-known specs; it panics on
+// error.
+func MustParseSpec(input string) Spec {
+	spec, err := ParseSpec(input)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// ParseSpec parses the canonical text encoding:
+//
+//	spec    = "pass" | rule {" " rule}
+//	rule    = "on:" phase ["(" targ {"," targ} ")"] "[" [action {"; " action}] "]"
+//	phase   = "handshake" | "first-payload" | "payload" | "segment"
+//	targ    = "min=" int | "rexmit"
+//	action  = name ["(" arg {"," arg} ")"]
+//	name    = "inject" | "teardown" | "fragment" | "reorder" |
+//	          "duplicate" | "tamper" | "delay"
+//	arg     = ident | key "=" value
+//
+// Whitespace between tokens is forgiving on input; String always emits
+// the canonical spacing.
+func ParseSpec(input string) (Spec, error) {
+	p := &specParser{s: input}
+	p.space()
+	if p.eof() {
+		return Spec{}, fmt.Errorf("spec: empty input")
+	}
+	save := p.i
+	if p.ident() == "pass" {
+		p.space()
+		if p.eof() {
+			return Spec{}, nil
+		}
+		return Spec{}, fmt.Errorf("spec: unexpected text after \"pass\": %q", p.rest())
+	}
+	p.i = save
+	var spec Spec
+	for {
+		p.space()
+		if p.eof() {
+			return spec, nil
+		}
+		r, err := p.rule()
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.Rules = append(spec.Rules, r)
+	}
+}
+
+type specParser struct {
+	s string
+	i int
+}
+
+func (p *specParser) eof() bool { return p.i >= len(p.s) }
+
+func (p *specParser) rest() string { return p.s[p.i:] }
+
+func (p *specParser) space() {
+	for !p.eof() && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func identByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '-' || c == '_' || c == '+' || c == '.'
+}
+
+// ident consumes a run of identifier bytes (possibly empty).
+func (p *specParser) ident() string {
+	start := p.i
+	for !p.eof() && identByte(p.s[p.i]) {
+		p.i++
+	}
+	return p.s[start:p.i]
+}
+
+func (p *specParser) consume(c byte) bool {
+	if !p.eof() && p.s[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+type specArg struct {
+	key string // "" for a bare positional token
+	val string
+}
+
+// args parses an optional parenthesised argument list.
+func (p *specParser) args(owner string) ([]specArg, error) {
+	if !p.consume('(') {
+		return nil, nil
+	}
+	var out []specArg
+	for {
+		p.space()
+		if p.consume(')') {
+			return out, nil
+		}
+		tok := p.ident()
+		if tok == "" {
+			return nil, fmt.Errorf("spec: %s: expected argument, got %q", owner, p.rest())
+		}
+		a := specArg{val: tok}
+		if p.consume('=') {
+			a.key = tok
+			a.val = p.ident()
+			if a.val == "" {
+				return nil, fmt.Errorf("spec: %s: missing value for %q", owner, a.key)
+			}
+		}
+		out = append(out, a)
+		p.space()
+		if p.consume(',') {
+			continue
+		}
+		if p.consume(')') {
+			return out, nil
+		}
+		return nil, fmt.Errorf("spec: %s: expected ',' or ')', got %q", owner, p.rest())
+	}
+}
+
+func (p *specParser) rule() (Rule, error) {
+	var r Rule
+	if !strings.HasPrefix(p.rest(), "on:") {
+		return r, fmt.Errorf("spec: rule must start with \"on:<phase>\", got %q", p.rest())
+	}
+	p.i += len("on:")
+	name := p.ident()
+	ph, ok := parsePhase(name)
+	if !ok {
+		return r, fmt.Errorf("spec: unknown phase %q", name)
+	}
+	r.Trigger.Phase = ph
+	args, err := p.args("trigger on:" + name)
+	if err != nil {
+		return r, err
+	}
+	for _, a := range args {
+		switch {
+		case a.key == "" && a.val == "rexmit":
+			r.Trigger.Rexmit = true
+		case a.key == "min":
+			n, err := strconv.Atoi(a.val)
+			if err != nil || n < 0 {
+				return r, fmt.Errorf("spec: trigger on:%s: bad min %q", name, a.val)
+			}
+			r.Trigger.Min = n
+		default:
+			return r, fmt.Errorf("spec: trigger on:%s: unknown argument %q", name, a.val)
+		}
+	}
+	p.space()
+	if !p.consume('[') {
+		return r, fmt.Errorf("spec: missing '[' after %s", r.Trigger.String())
+	}
+	p.space()
+	if p.consume(']') {
+		return r, nil
+	}
+	for {
+		p.space()
+		act, err := p.action()
+		if err != nil {
+			return r, err
+		}
+		r.Actions = append(r.Actions, act)
+		p.space()
+		if p.consume(';') {
+			continue
+		}
+		if p.consume(']') {
+			return r, nil
+		}
+		if p.eof() {
+			return r, fmt.Errorf("spec: missing ']' to close %s", r.Trigger.String())
+		}
+		return r, fmt.Errorf("spec: expected ';' or ']', got %q", p.rest())
+	}
+}
+
+func (p *specParser) action() (Action, error) {
+	name := p.ident()
+	if name == "" {
+		return nil, fmt.Errorf("spec: expected primitive name, got %q", p.rest())
+	}
+	args, err := p.args(name)
+	if err != nil {
+		return nil, err
+	}
+	return buildAction(name, args)
+}
+
+// buildAction validates one primitive invocation.
+func buildAction(name string, args []specArg) (Action, error) {
+	bad := func(format string, a ...any) (Action, error) {
+		return nil, fmt.Errorf("spec: "+name+": "+format, a...)
+	}
+	switch name {
+	case "inject":
+		act := InjectAction{Disc: DiscNone}
+		kindSet := false
+		for _, a := range args {
+			switch a.key {
+			case "":
+				k, ok := parseInjectKind(a.val)
+				if !ok {
+					return bad("unknown kind %q", a.val)
+				}
+				act.Kind, kindSet = k, true
+			case "disc":
+				d, ok := ParseDiscrepancy(a.val)
+				if !ok {
+					return bad("unknown discrepancy %q", a.val)
+				}
+				act.Disc = d
+			default:
+				return bad("unknown argument %q", a.key)
+			}
+		}
+		if !kindSet {
+			return bad("missing kind (syn, synack, desync or prefill)")
+		}
+		return act, nil
+	case "teardown":
+		act := TeardownAction{Disc: DiscNone}
+		flagsSet := false
+		for _, a := range args {
+			switch a.key {
+			case "flags":
+				fl, ok := parseFlagsToken(a.val)
+				if !ok {
+					return bad("unknown flags %q", a.val)
+				}
+				act.Flags, flagsSet = fl, true
+			case "disc":
+				d, ok := ParseDiscrepancy(a.val)
+				if !ok {
+					return bad("unknown discrepancy %q", a.val)
+				}
+				act.Disc = d
+			default:
+				return bad("unknown argument %q", a.val)
+			}
+		}
+		if !flagsSet {
+			return bad("missing flags (rst, rstack, fin or finack)")
+		}
+		return act, nil
+	case "fragment":
+		act := FragmentAction{}
+		laySet := false
+		for _, a := range args {
+			switch a.key {
+			case "":
+				switch a.val {
+				case "ip":
+					act.Layer, laySet = LayerIP, true
+				case "tcp":
+					act.Layer, laySet = LayerTCP, true
+				default:
+					return bad("unknown layer %q", a.val)
+				}
+			case "at":
+				n, err := strconv.Atoi(a.val)
+				if err != nil || n <= 0 {
+					return bad("bad at %q", a.val)
+				}
+				act.At = n
+			default:
+				return bad("unknown argument %q", a.val)
+			}
+		}
+		if !laySet {
+			return bad("missing layer (ip or tcp)")
+		}
+		if act.Layer == LayerIP && act.At != 0 {
+			return bad("at= only applies to tcp fragmentation")
+		}
+		if act.Layer == LayerTCP && act.At == 0 {
+			act.At = 4
+		}
+		return act, nil
+	case "reorder":
+		if len(args) != 1 || args[0].key != "" || args[0].val != "head-last" {
+			return bad("want reorder(head-last)")
+		}
+		return ReorderAction{}, nil
+	case "duplicate":
+		act := DuplicateAction{Fill: FillJunk, Pos: PosBefore}
+		selSet := false
+		for _, a := range args {
+			switch a.key {
+			case "":
+				if a.val != "tails" {
+					return bad("unknown selector %q", a.val)
+				}
+				selSet = true
+			case "fill":
+				switch a.val {
+				case "junk":
+					act.Fill = FillJunk
+				case "copy":
+					act.Fill = FillCopy
+				default:
+					return bad("unknown fill %q", a.val)
+				}
+			case "pos":
+				switch a.val {
+				case "before":
+					act.Pos = PosBefore
+				case "after":
+					act.Pos = PosAfter
+				default:
+					return bad("unknown pos %q", a.val)
+				}
+			default:
+				return bad("unknown argument %q", a.val)
+			}
+		}
+		if !selSet {
+			return bad("missing selector (tails)")
+		}
+		return act, nil
+	case "tamper":
+		if len(args) != 1 {
+			return bad("want exactly one of md5, ttl=N, flags=F, seq=±N")
+		}
+		a := args[0]
+		switch {
+		case a.key == "" && a.val == "md5":
+			return TamperAction{Kind: TamperMD5}, nil
+		case a.key == "ttl":
+			n, err := strconv.Atoi(a.val)
+			if err != nil || n < 1 || n > 255 {
+				return bad("bad ttl %q", a.val)
+			}
+			return TamperAction{Kind: TamperTTL, TTL: uint8(n)}, nil
+		case a.key == "flags":
+			fl, ok := parseFlagsToken(a.val)
+			if !ok {
+				return bad("unknown flags %q", a.val)
+			}
+			return TamperAction{Kind: TamperFlags, Flags: fl}, nil
+		case a.key == "seq":
+			n, err := strconv.Atoi(a.val)
+			if err != nil || n == 0 {
+				return bad("bad seq delta %q", a.val)
+			}
+			return TamperAction{Kind: TamperSeq, Delta: n}, nil
+		default:
+			return bad("unknown argument %q", a.val)
+		}
+	case "delay":
+		if len(args) != 1 || args[0].key != "ms" {
+			return bad("want delay(ms=N)")
+		}
+		n, err := strconv.Atoi(args[0].val)
+		if err != nil || n <= 0 {
+			return bad("bad ms %q", args[0].val)
+		}
+		return DelayAction{Ms: n}, nil
+	default:
+		return nil, fmt.Errorf("spec: unknown primitive %q", name)
+	}
+}

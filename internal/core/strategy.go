@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"intango/internal/packet"
 )
 
@@ -10,6 +12,9 @@ import (
 type Emission struct {
 	Pkt       *packet.Packet
 	Insertion bool
+	// Delay postpones the emission by that much virtual time (the
+	// `delay` primitive); insertion repeat waves stack on top of it.
+	Delay time.Duration
 }
 
 // real wraps the client's own packet.
@@ -37,6 +42,12 @@ type Flow struct {
 	// DataSent counts client payload bytes so far; the first data
 	// packet (DataSent==0) is where most strategies act.
 	DataSent int
+
+	// exec is the compiled executor's per-flow trigger state (see
+	// primitives.go). Keeping it here — not on the Strategy value —
+	// means a strategy instance reused across flows cannot leak
+	// one-shot state between connections.
+	exec *execState
 }
 
 // Strategy transforms the client's outbound packets, inserting crafted

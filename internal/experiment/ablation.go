@@ -40,16 +40,18 @@ type AblationCell struct {
 }
 
 // ablationStrategies lists the strategies the ablation sweeps —
-// Table 4's winners plus the two arms-race baselines.
-func ablationStrategies() []string {
-	return []string{
-		"improved-teardown",
-		"improved-prefill",
-		"creation-resync-desync",
-		"teardown-reversal",
-		"prefill/bad-checksum",
-		"west-chamber",
-		"md5-request",
+// Table 4's winners plus the two arms-race baselines — each defined by
+// its spec.
+func ablationStrategies() []strategySpec {
+	t4 := table4Strategies()
+	return []strategySpec{
+		t4[0].strategySpec, // improved-teardown
+		t4[1].strategySpec, // improved-prefill
+		t4[2].strategySpec, // creation-resync-desync
+		t4[3].strategySpec, // teardown-reversal
+		{"prefill/bad-checksum", "on:first-payload[inject(prefill,disc=bad-checksum)]"},
+		{"west-chamber", "on:first-payload[teardown(flags=rst); teardown(flags=finack)]"},
+		{"md5-request", "on:payload[tamper(md5)]"},
 	}
 }
 
@@ -65,17 +67,17 @@ func RunAblation(r *Runner) []AblationCell {
 	base.LossRate = 0
 
 	stacks := []tcpstack.Profile{tcpstack.Linux44(), tcpstack.Linux2437()}
-	factories := core.BuiltinFactories()
 
 	var cells []AblationCell
 	for _, h := range Hardenings() {
 		for _, strat := range ablationStrategies() {
+			factory := strat.compile()
 			for _, stack := range stacks {
 				srv := base
 				srv.Stack = stack
-				out := r.runHardened(vp, srv, factories[strat], h)
+				out := r.runHardened(vp, srv, factory, h)
 				cells = append(cells, AblationCell{
-					Strategy: strat, Hardening: h.Name, Server: stack.Name, Outcome: out,
+					Strategy: strat.name, Hardening: h.Name, Server: stack.Name, Outcome: out,
 				})
 			}
 		}

@@ -80,7 +80,6 @@ func (r *Runner) RunParallel(jobs []trialJob, tallies []*Tally) {
 func RunTable1Parallel(r *Runner, scale Scale) []Table1Row {
 	vps := VantagePoints()[:min(scale.VPs, 11)]
 	servers := Servers(scale.Servers, r.Cal, r.Seed)
-	factories := core.BuiltinFactories()
 	specs := table1Strategies()
 	rows := make([]Table1Row, len(specs))
 	tallies := make([]*Tally, 2*len(specs))
@@ -89,12 +88,12 @@ func RunTable1Parallel(r *Runner, scale Scale) []Table1Row {
 		rows[i] = Table1Row{Strategy: spec.group, Discrepancy: spec.disc}
 		tallies[2*i] = &rows[i].Sensitive
 		tallies[2*i+1] = &rows[i].Clean
-		factory := factories[spec.factory]
+		factory := spec.compile()
 		for _, vp := range vps {
 			for _, srv := range servers {
 				for trial := 0; trial < scale.Trials; trial++ {
-					jobs = append(jobs, trialJob{vp, srv, factory, true, trial, 2 * i, spec.factory})
-					jobs = append(jobs, trialJob{vp, srv, factory, false, trial + scale.Trials, 2*i + 1, spec.factory})
+					jobs = append(jobs, trialJob{vp, srv, factory, true, trial, 2 * i, spec.name})
+					jobs = append(jobs, trialJob{vp, srv, factory, false, trial + scale.Trials, 2*i + 1, spec.name})
 				}
 			}
 		}
@@ -105,20 +104,19 @@ func RunTable1Parallel(r *Runner, scale Scale) []Table1Row {
 
 // RunTable4Parallel fans the Table 4 strategy rows across CPUs.
 func RunTable4Parallel(r *Runner, vps []VantagePoint, servers []Server, trials int) []Table4Row {
-	factories := core.BuiltinFactories()
 	specs := table4Strategies()
 	perVP := make([][]Tally, len(specs))
 	var jobs []trialJob
 	var tallies []*Tally
 	for si, spec := range specs {
 		perVP[si] = make([]Tally, len(vps))
-		factory := factories[spec.factory]
+		factory := spec.compile()
 		for vi, vp := range vps {
 			sink := len(tallies)
 			tallies = append(tallies, &perVP[si][vi])
 			for _, srv := range servers {
 				for trial := 0; trial < trials; trial++ {
-					jobs = append(jobs, trialJob{vp, srv, factory, true, trial, sink, spec.factory})
+					jobs = append(jobs, trialJob{vp, srv, factory, true, trial, sink, spec.name})
 				}
 			}
 		}

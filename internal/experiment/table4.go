@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"intango/internal/core"
 	"intango/internal/middlebox"
 	"intango/internal/packet"
 )
@@ -33,13 +32,25 @@ type Table4Row struct {
 	Success, Failure1, Failure2 [3]float64
 }
 
-// table4Strategies lists the §7.1 strategy rows.
-func table4Strategies() []struct{ label, factory string } {
-	return []struct{ label, factory string }{
-		{"Improved TCB Teardown", "improved-teardown"},
-		{"Improved In-order Data Overlapping", "improved-prefill"},
-		{"TCB Creation + Resync/Desync", "creation-resync-desync"},
-		{"TCB Teardown + TCB Reversal", "teardown-reversal"},
+// table4Spec is one §7.1 strategy row definition: paper label plus the
+// strategy spec.
+type table4Spec struct {
+	label string
+	strategySpec
+}
+
+// table4Strategies lists the §7.1 strategy rows, each defined by its
+// spec.
+func table4Strategies() []table4Spec {
+	return []table4Spec{
+		{"Improved TCB Teardown", strategySpec{"improved-teardown",
+			"on:first-payload[teardown(flags=rst,disc=ttl); teardown(flags=rst,disc=md5); inject(desync)]"}},
+		{"Improved In-order Data Overlapping", strategySpec{"improved-prefill",
+			"on:first-payload[inject(prefill,disc=md5); inject(prefill,disc=old-timestamp)]"}},
+		{"TCB Creation + Resync/Desync", strategySpec{"creation-resync-desync",
+			"on:handshake[inject(syn,disc=ttl)] on:first-payload[inject(syn,disc=ttl); inject(desync)]"}},
+		{"TCB Teardown + TCB Reversal", strategySpec{"teardown-reversal",
+			"on:handshake[inject(synack,disc=ttl)] on:first-payload[teardown(flags=rst,disc=ttl); teardown(flags=rst,disc=md5)]"}},
 	}
 }
 
@@ -48,10 +59,9 @@ func table4Strategies() []struct{ label, factory string } {
 // inside-China block, OutsideVantagePoints()+OutsideServers for the
 // outside block).
 func RunTable4(r *Runner, vps []VantagePoint, servers []Server, trials int) []Table4Row {
-	factories := core.BuiltinFactories()
 	var rows []Table4Row
 	for _, spec := range table4Strategies() {
-		factory := factories[spec.factory]
+		factory := spec.compile()
 		perVP := make([]Tally, len(vps))
 		for vi, vp := range vps {
 			for _, srv := range servers {

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"intango/internal/core"
-	"intango/internal/packet"
 )
 
 // Table5Cell is one (packet type, discrepancy) construction with its
@@ -37,11 +36,14 @@ func RunTable5(r *Runner) []Table5Cell {
 		case "SYN":
 			// SYN insertions are exercised by the combined creation
 			// strategy (its insertions are TTL-crafted SYNs).
-			return core.NewResyncDesync()
+			return strategySpec{"creation-resync-desync",
+				"on:handshake[inject(syn,disc=ttl)] on:first-payload[inject(syn,disc=ttl); inject(desync)]"}.compile()
 		case "RST":
-			return core.NewTCBTeardown(packet.FlagRST, d)
+			return strategySpec{"teardown-rst/" + d.String(),
+				"on:first-payload[teardown(flags=rst,disc=" + d.String() + ")]"}.compile()
 		default: // Data
-			return core.NewInOrderPrefill(d)
+			return strategySpec{"prefill/" + d.String(),
+				"on:first-payload[inject(prefill,disc=" + d.String() + ")]"}.compile()
 		}
 	}
 

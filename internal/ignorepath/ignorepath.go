@@ -10,9 +10,11 @@ package ignorepath
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 	"time"
 
+	"intango/internal/core"
 	"intango/internal/gfw"
 	"intango/internal/middlebox"
 	"intango/internal/netem"
@@ -85,8 +87,20 @@ type Candidate struct {
 
 // Candidates returns the §5.3 enumeration: the baseline acceptable
 // packet plus every studied perturbation.
+//
+// The TCP-layer data-packet perturbations are exactly the crafting
+// discrepancies the evasion strategies inject (core.Discrepancy), so
+// they are routed through the same core.Env.Apply the strategy
+// compiler uses — Table 3 probes the very packets Table 5 builds,
+// through one implementation. The remaining rows (IP-layer
+// perturbations, the RST+ACK control, FIN-only) have no strategy
+// counterpart and stay bespoke.
 func Candidates() []Candidate {
 	anyState := []tcpstack.State{tcpstack.SynRecv, tcpstack.Established}
+	env := core.Env{Rand: rand.New(rand.NewSource(53))}
+	disc := func(d core.Discrepancy) func(cc connContext) *packet.Packet {
+		return func(cc connContext) *packet.Packet { return env.Apply(cc.dataProbe(), d) }
+	}
 	return []Candidate{
 		{
 			Condition: "IP total length > actual length", Flags: "Any", States: anyState,
@@ -110,12 +124,7 @@ func Candidates() []Candidate {
 		},
 		{
 			Condition: "TCP checksum incorrect", Flags: "Any", States: anyState,
-			build: func(cc connContext) *packet.Packet {
-				p := cc.dataProbe()
-				p.TCP.Checksum ^= 0x5555
-				p.BadTCPChecksum = true
-				return p
-			},
+			build: disc(core.DiscBadChecksum),
 		},
 		{
 			Condition: "Wrong acknowledgement number", Flags: "RST+ACK",
@@ -127,27 +136,15 @@ func Candidates() []Candidate {
 		},
 		{
 			Condition: "Wrong acknowledgement number", Flags: "ACK", States: anyState,
-			build: func(cc connContext) *packet.Packet {
-				p := cc.dataProbe()
-				p.TCP.Ack = p.TCP.Ack.Add(1 << 22)
-				return p.Finalize()
-			},
+			build: disc(core.DiscBadAck),
 		},
 		{
 			Condition: "Has unsolicited MD5 Optional Header", Flags: "Any", States: anyState,
-			build: func(cc connContext) *packet.Packet {
-				p := cc.dataProbe()
-				p.TCP.Options = append(p.TCP.Options, packet.MD5Option([16]byte{0xde, 0xad}))
-				return p.Finalize()
-			},
+			build: disc(core.DiscMD5),
 		},
 		{
 			Condition: "TCP packet with no flag", Flags: "No flag", States: anyState,
-			build: func(cc connContext) *packet.Packet {
-				p := cc.dataProbe()
-				p.TCP.Flags = 0
-				return p.Finalize()
-			},
+			build: disc(core.DiscNoFlag),
 		},
 		{
 			Condition: "TCP packet with only FIN flag", Flags: "FIN", States: anyState,
@@ -159,12 +156,7 @@ func Candidates() []Candidate {
 		},
 		{
 			Condition: "Timestamps too old", Flags: "ACK", States: anyState,
-			build: func(cc connContext) *packet.Packet {
-				p := cc.dataProbe()
-				p.TCP.Options = nil
-				p.TCP.Options = append(p.TCP.Options, packet.TimestampOption(1, 0))
-				return p.Finalize()
-			},
+			build: disc(core.DiscOldTimestamp),
 		},
 		// §5.3's rejected IP-layer discrepancies: routers themselves
 		// discard these, so they never make it to the GFW, let alone

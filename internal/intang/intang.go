@@ -22,9 +22,11 @@ import (
 
 // Options configures an INTANG instance.
 type Options struct {
-	// Candidates is the ordered list of strategy names to try against
-	// a server with no cached result. Defaults to the paper's best
-	// performers (Table 4), strongest first.
+	// Candidates is the ordered list of strategies to try against a
+	// server with no cached result — registry names ("improved-teardown")
+	// or raw spec text ("on:first-payload[teardown(flags=rst,disc=ttl)]").
+	// Defaults to the paper's best performers (Table 4), strongest
+	// first.
 	Candidates []string
 	// CacheTTL bounds how long a per-server strategy result is trusted
 	// before re-measurement (§6: "retained only for a certain period").
@@ -75,9 +77,17 @@ type INTANG struct {
 	Opts   Options
 	Store  *kvstore.CachedStore
 
-	sim       *netem.Simulator
-	stack     *tcpstack.Stack
-	factories map[string]core.Factory
+	sim   *netem.Simulator
+	stack *tcpstack.Stack
+
+	// candidates are Opts.Candidates resolved once at New: the display
+	// name the caller used, the canonical spec string that identifies
+	// the strategy (the per-server result cache stores these), and the
+	// compiled factory.
+	candidates []candidate
+	// byCanon maps a cached canonical spec string back to its
+	// candidate.
+	byCanon map[string]*candidate
 
 	// rotation tracks which candidate a server is on.
 	rotation map[packet.Addr]int
@@ -104,9 +114,19 @@ type INTANG struct {
 	Obs *obs.Obs
 }
 
+// candidate is one resolved strategy choice.
+type candidate struct {
+	display string
+	canon   string
+	factory core.Factory
+}
+
 type liveFlow struct {
-	server   packet.Addr
+	server packet.Addr
+	// strategy is the canonical spec string — the identity the result
+	// cache keys off; display is what humans (stats, traces) see.
 	strategy string
+	display  string
 	decided  bool
 }
 
@@ -124,7 +144,7 @@ func New(sim *netem.Simulator, path *netem.Path, stack *tcpstack.Stack, opts Opt
 		Store:      kvstore.NewCachedStore(1024, func() time.Duration { return sim.Now() }),
 		sim:        sim,
 		stack:      stack,
-		factories:  core.BuiltinFactories(),
+		byCanon:    make(map[string]*candidate),
 		rotation:   make(map[packet.Addr]int),
 		live:       make(map[packet.FourTuple]*liveFlow),
 		hops:       make(map[packet.Addr]int),
@@ -133,6 +153,12 @@ func New(sim *netem.Simulator, path *netem.Path, stack *tcpstack.Stack, opts Opt
 		probeBase:  61000,
 		dnsPending: make(map[*tcpstack.Conn]dnsQueryCtx),
 		Stats:      make(map[string]int),
+	}
+	it.candidates = make([]candidate, len(opts.Candidates))
+	for i, key := range opts.Candidates {
+		c := resolveCandidate(key)
+		it.candidates[i] = c
+		it.byCanon[c.canon] = &it.candidates[i]
 	}
 	env := core.DefaultEnv(10, sim.Rand())
 	it.Engine = core.NewEngine(sim, path, stack, env)
@@ -145,25 +171,33 @@ func New(sim *netem.Simulator, path *netem.Path, stack *tcpstack.Stack, opts Opt
 // cacheKey is the per-server strategy record key.
 func cacheKey(addr packet.Addr) string { return "strategy:" + addr.String() }
 
+// resolveCandidate turns a candidate key (registry name or spec text)
+// into its display name, canonical spec string, and compiled factory.
+// Unresolvable keys degrade to a passthrough under their own name, as
+// the old registry-miss path did.
+func resolveCandidate(key string) candidate {
+	if f, canon, ok := core.ResolveStrategy(key); ok {
+		return candidate{display: key, canon: canon, factory: f}
+	}
+	return candidate{display: key, canon: key,
+		factory: func() core.Strategy { return core.Passthrough{} }}
+}
+
 // newStrategy picks the most promising strategy for a new flow (§6).
 func (it *INTANG) newStrategy(tuple packet.FourTuple) core.Strategy {
 	server := tuple.DstAddr
-	name := it.ChooseStrategy(server)
-	lf := &liveFlow{server: server, strategy: name}
+	c := it.chooseCandidate(server)
+	lf := &liveFlow{server: server, strategy: c.canon, display: c.display}
 	it.live[tuple] = lf
-	it.Stats["flow:"+name]++
+	it.Stats["flow:"+c.display]++
 	if it.Obs != nil {
 		it.Obs.Count("intang.flow")
-		it.Obs.Trace("intang", "flow", 0, 0, name+" -> "+server.String())
+		it.Obs.Trace("intang", "flow", 0, 0, c.display+" -> "+server.String())
 	}
 	if it.Opts.ResponseTimeout > 0 {
 		it.sim.At(it.Opts.ResponseTimeout, func() { it.reportTimeout(lf) })
 	}
-	f, ok := it.factories[name]
-	if !ok {
-		return core.Passthrough{}
-	}
-	return f()
+	return c.factory()
 }
 
 // DeltaFor returns the converged TTL margin for a destination.
@@ -185,7 +219,7 @@ func (it *INTANG) reportTimeout(lf *liveFlow) {
 	it.Stats["timeout"]++
 	if it.Obs != nil {
 		it.Obs.Count("intang.timeout")
-		it.Obs.Trace("intang", "timeout", 0, 0, lf.strategy+" @ "+lf.server.String())
+		it.Obs.Trace("intang", "timeout", 0, 0, lf.display+" @ "+lf.server.String())
 	}
 	if v, ok := it.Store.Get(cacheKey(lf.server)); ok && v == lf.strategy {
 		it.Store.Delete(cacheKey(lf.server))
@@ -203,20 +237,38 @@ func (it *INTANG) reportTimeout(lf *liveFlow) {
 	}
 }
 
-// ChooseStrategy returns the strategy INTANG would use for server now:
-// the cached winner if present, else the current rotation candidate.
+// ChooseStrategy returns the display name of the strategy INTANG would
+// use for server now: the cached winner if present, else the current
+// rotation candidate.
 func (it *INTANG) ChooseStrategy(server packet.Addr) string {
+	return it.chooseCandidate(server).display
+}
+
+// ChooseSpec is ChooseStrategy in canonical spec form — the identity
+// the per-server result cache stores.
+func (it *INTANG) ChooseSpec(server packet.Addr) string {
+	return it.chooseCandidate(server).canon
+}
+
+// chooseCandidate resolves the cached winner (a canonical spec string)
+// or falls back to the rotation (§6).
+func (it *INTANG) chooseCandidate(server packet.Addr) candidate {
 	if v, ok := it.Store.Get(cacheKey(server)); ok {
 		if it.Obs != nil {
 			it.Obs.Count("intang.cache-hit")
 		}
-		return v
+		if c, ok := it.byCanon[v]; ok {
+			return *c
+		}
+		// A cached spec outside the candidate set (written by an earlier
+		// configuration): still honour it.
+		return resolveCandidate(v)
 	}
 	if it.Obs != nil {
 		it.Obs.Count("intang.cache-miss")
 	}
-	idx := it.rotation[server] % len(it.Opts.Candidates)
-	return it.Opts.Candidates[idx]
+	idx := it.rotation[server] % len(it.candidates)
+	return it.candidates[idx]
 }
 
 // reportSuccess caches the working strategy for the server.
@@ -225,11 +277,13 @@ func (it *INTANG) reportSuccess(lf *liveFlow) {
 		return
 	}
 	lf.decided = true
+	// lf.strategy is the canonical spec string, so the cached record
+	// survives renames of the display alias.
 	it.Store.Set(cacheKey(lf.server), lf.strategy, it.Opts.CacheTTL)
 	it.Stats["success"]++
 	if it.Obs != nil {
 		it.Obs.Count("intang.cache-store")
-		it.Obs.Trace("intang", "cache-store", 0, 0, lf.strategy+" @ "+lf.server.String())
+		it.Obs.Trace("intang", "cache-store", 0, 0, lf.display+" @ "+lf.server.String())
 	}
 }
 
@@ -247,7 +301,7 @@ func (it *INTANG) reportFailure(lf *liveFlow) {
 	it.Stats["failure"]++
 	if it.Obs != nil {
 		it.Obs.Count("intang.rotation")
-		it.Obs.Trace("intang", "rotation", 0, 0, lf.strategy+" failed @ "+lf.server.String())
+		it.Obs.Trace("intang", "rotation", 0, 0, lf.display+" failed @ "+lf.server.String())
 	}
 	// Exhausting the whole rotation suggests the insertion packets are
 	// not reaching the GFW at all (§7.1's outside-China TTL problem):
