@@ -23,16 +23,23 @@ import (
 
 	"intango/internal/core"
 	"intango/internal/experiment"
+
+	// Registers the -progress HTTP endpoint implementation; the
+	// experiment package itself stays free of net/http.
+	_ "intango/internal/experiment/progresshttp"
 	"intango/internal/ignorepath"
 	"intango/internal/obs"
 )
 
 func main() {
 	var (
-		what     = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,obs,bench,bench-compare,figures,strategies")
+		what     = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,bench,bench-compare,figures,strategies")
 		scale    = flag.String("scale", "quick", "campaign scale: quick, mid, paper")
 		seed     = flag.Int64("seed", 42, "population/campaign seed")
 		benchOut = flag.String("bench-out", "BENCH_netem.json", "report path for -what bench")
+		strategy = flag.String("strategy", "teardown-rst/ttl", "strategy for -what explain")
+		traceDir = flag.String("trace-dir", "", "directory for causal trace bundles (-what explain and diagnose); empty skips writing")
+		progress = flag.String("progress", "", "emit live campaign progress during -what obs: 'stderr' or an HTTP listen address like 127.0.0.1:8391")
 	)
 	flag.Parse()
 
@@ -128,18 +135,54 @@ func main() {
 		for _, vp := range vps {
 			for _, srv := range servers {
 				if r.RunOne(vp, srv, factory, true, 0) != experiment.Success {
-					fmt.Print(experiment.FormatDiagnosisDetail(r.Diagnose(vp, srv, "teardown-rst/ttl", 0)))
+					d := r.Diagnose(vp, srv, "teardown-rst/ttl", 0)
+					fmt.Print(experiment.FormatDiagnosisDetail(d))
+					if *traceDir != "" {
+						paths, err := experiment.WriteDiagnosisBundles(d, *traceDir)
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "write trace bundles: %v\n", err)
+							os.Exit(1)
+						}
+						fmt.Printf("wrote %d trace bundle files under %s\n", len(paths), *traceDir)
+					}
 					break example
 				}
 			}
 		}
 		fmt.Println()
 	}
+	// Strict equality: a narrative re-run, not a paper artifact.
+	if *what == "explain" {
+		ran = true
+		vps := experiment.VantagePoints()[:sc.VPs]
+		servers := experiment.Servers(sc.Servers, r.Cal, *seed)
+		narrative, tr, err := r.ExplainFirstFailure(*strategy, vps, servers, sc.Trials)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "explain: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(narrative)
+		if *traceDir != "" {
+			paths, err := tr.WriteBundle(*traceDir, "explain")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "write trace bundle: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d trace bundle files under %s\n", len(paths), *traceDir)
+		}
+	}
 	// Strict equality: the obs rerun duplicates Table 1, so "-what all"
 	// must not pick it up.
 	if *what == "obs" {
 		ran = true
 		r.Obs = experiment.NewObsSink()
+		if *progress != "" {
+			opts := &experiment.ProgressOptions{W: os.Stderr}
+			if *progress != "stderr" {
+				opts.HTTPAddr = *progress
+			}
+			r.Progress = opts
+		}
 		start := time.Now()
 		rows := experiment.RunTable1Parallel(r, sc)
 		wall := time.Since(start)
@@ -154,14 +197,18 @@ func main() {
 		snap.WriteJSON(os.Stdout)
 		fmt.Println("== observability: campaign aggregate ==")
 		fmt.Println(r.Obs.Aggregate(wall).String())
-		if fails := r.Obs.Failures(); len(fails) > 0 {
-			f := fails[0]
-			fmt.Println()
-			fmt.Printf("== observability: flight recorder of one failing trial ==\n")
-			fmt.Printf("%s vs %s via %s, trial %d: %s (%d earlier events evicted from the ring)\n",
-				f.VP, f.Server, f.Strategy, f.Trial, f.Outcome, f.Dropped)
-			fmt.Print(obs.FormatEvents(f.Events))
+		fails := r.Obs.Failures()
+		if len(fails) == 0 {
+			fmt.Fprintf(os.Stderr, "obs: campaign retained no failing trial to replay (%d trials, all succeeded); rerun with a larger -scale or a different -seed\n",
+				r.Obs.Trials())
+			os.Exit(1)
 		}
+		f := fails[0]
+		fmt.Println()
+		fmt.Printf("== observability: flight recorder of one failing trial ==\n")
+		fmt.Printf("%s vs %s via %s, trial %d: %s (%d earlier events evicted from the ring)\n",
+			f.VP, f.Server, f.Strategy, f.Trial, f.Outcome, f.Dropped)
+		fmt.Print(obs.FormatEvents(f.Events))
 		fmt.Println()
 	}
 	// Strict equality again: benchmarking is minutes of repeated
@@ -224,7 +271,7 @@ func main() {
 		fmt.Println(experiment.Figure4(r))
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,obs,bench,bench-compare,figures,strategies\n", *what)
+		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,bench,bench-compare,figures,strategies\n", *what)
 		os.Exit(2)
 	}
 }

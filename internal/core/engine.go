@@ -70,6 +70,9 @@ func (e *Engine) Outbound(pkt *packet.Packet) {
 		e.send(Emission{Pkt: pkt})
 		return
 	}
+	// Assign the wire ID now, before strategies run, so insertion
+	// packets crafted from this one can record it as lineage parent.
+	e.Path.StampLineage(pkt)
 	tuple := pkt.Tuple()
 	fs := e.flows[tuple]
 	if fs == nil {

@@ -109,6 +109,11 @@ type plan struct {
 	f      *Flow
 	src    *packet.Packet // the intercepted packet, untouched
 	pieces []piece
+	// crafter identifies the canonical spec text of the action currently
+	// applying, interned at compile time; every packet an action adds
+	// to the plan is stamped with it so traces can name the exact spec
+	// piece that crafted each wire packet.
+	crafter packet.CrafterRef
 }
 
 func newPlan(f *Flow, pkt *packet.Packet) *plan {
@@ -127,6 +132,9 @@ func (pl *plan) emissions() []Emission {
 // but before the plan's traffic, preserving the order insertions were
 // requested in (the wire order the monolithic strategies used).
 func (pl *plan) addInsertion(p *packet.Packet) {
+	p.Lin.Origin = packet.OriginStrategy
+	p.Lin.Parent = pl.src.Lin.ID
+	p.Lin.Crafter = pl.crafter
 	at := 0
 	for at < len(pl.pieces) && pl.pieces[at].role == roleInsertion {
 		at++
@@ -269,6 +277,9 @@ func (a FragmentAction) apply(pl *plan) {
 				seg(pkt.TCP.Seq.Add(k), pkt.Payload[k:]),
 			}
 		}
+		for _, fr := range frags {
+			fr.Lin = packet.Lineage{Origin: packet.OriginStrategy, Parent: pl.src.Lin.ID, Crafter: pl.crafter}
+		}
 		repl := make([]piece, 0, len(pl.pieces)+len(frags)-1)
 		repl = append(repl, pl.pieces[:i]...)
 		repl = append(repl, piece{em: real(frags[0]), role: roleHead})
@@ -375,6 +386,8 @@ func (a DuplicateAction) apply(pl *plan) {
 			copyPkt.Payload = junk(len(copyPkt.Payload))
 		}
 		copyPkt.Finalize()
+		copyPkt.Lin.Origin = packet.OriginStrategy
+		copyPkt.Lin.Crafter = pl.crafter
 		decoys = append(decoys, piece{em: real(copyPkt), role: roleDecoy})
 	}
 	if first < 0 {
@@ -439,6 +452,8 @@ func (a TamperAction) apply(pl *plan) {
 			p.TCP.Seq = p.TCP.Seq.Add(a.Delta)
 		}
 		p.Finalize()
+		p.Lin.Origin = packet.OriginStrategy
+		p.Lin.Crafter = pl.crafter
 		pl.pieces[i].em = real(p)
 		return
 	}
@@ -501,6 +516,10 @@ func (f *Flow) execStateFor(rules int) *execState {
 type Compiled struct {
 	spec  Spec
 	alias string
+	// labels[i][j] is Rules[i].Actions[j].encode(), interned at compile
+	// time so the hot path can stamp packet lineage with one integer
+	// store, re-encoding nothing.
+	labels [][]packet.CrafterRef
 }
 
 // Name implements Strategy: the legacy alias when one was registered,
@@ -531,9 +550,11 @@ func (c *Compiled) Outbound(f *Flow, pkt *packet.Packet) []Emission {
 		if pl == nil {
 			pl = newPlan(f, pkt)
 		}
-		for _, act := range r.Actions {
+		for j, act := range r.Actions {
+			pl.crafter = c.labels[i][j]
 			act.apply(pl)
 		}
+		pl.crafter = 0
 	}
 	if pl == nil {
 		return []Emission{real(pkt)}
@@ -582,7 +603,14 @@ func (s Spec) Factory() Factory { return s.FactoryAs("") }
 
 // FactoryAs is Factory with a legacy display alias for Name().
 func (s Spec) FactoryAs(alias string) Factory {
-	c := &Compiled{spec: s, alias: alias}
+	labels := make([][]packet.CrafterRef, len(s.Rules))
+	for i := range s.Rules {
+		labels[i] = make([]packet.CrafterRef, len(s.Rules[i].Actions))
+		for j, act := range s.Rules[i].Actions {
+			labels[i][j] = packet.InternCrafter(act.encode())
+		}
+	}
+	c := &Compiled{spec: s, alias: alias, labels: labels}
 	return func() Strategy { return c }
 }
 

@@ -8,6 +8,7 @@ import (
 	"intango/internal/middlebox"
 	"intango/internal/obs"
 	"intango/internal/tcpstack"
+	"intango/internal/trace"
 )
 
 // The §3.4 future-work item, implemented: "To fully untangle the
@@ -66,6 +67,10 @@ type Attribution struct {
 	// mechanism, not just the fact, of the factor's influence. Empty
 	// when both traces agree event-for-event.
 	FirstDivergence string
+	// Bundle is the controlled re-run's full causal trace, attached
+	// whenever the re-run diverged from the baseline. WriteBundle
+	// exports it for offline inspection.
+	Bundle *trace.Trace
 }
 
 // Diagnosis is the full controlled-experiment result for one failing
@@ -75,18 +80,25 @@ type Diagnosis struct {
 	Baseline             Outcome
 	// BaselineTrace is the failing trial's flight-recorder snapshot.
 	BaselineTrace []obs.Event
-	Attributions  []Attribution
+	// BaselineBundle is the failing trial's full causal trace.
+	BaselineBundle *trace.Trace
+	Attributions   []Attribution
 	// Residual: no single factor explains the failure (interaction or
 	// inherent strategy weakness).
 	Residual bool
 }
 
 // Diagnose reruns a trial under controlled variants. A nil factory
-// means no strategy.
+// means no strategy. Each run is fully causally traced: the baseline's
+// bundle is always attached, and each factor re-run that diverges from
+// the baseline keeps its own bundle for offline inspection.
 func (r *Runner) Diagnose(vp VantagePoint, srv Server, strategyName string, trial int) Diagnosis {
 	factory := core.BuiltinFactories()[strategyName]
 	diag := Diagnosis{VP: vp.Name, Server: srv.Name, Strategy: strategyName}
-	diag.Baseline, diag.BaselineTrace = r.RunOneTraced(vp, srv, factory, true, trial)
+	var baseTr *trace.Trace
+	diag.Baseline, baseTr = r.RunOneCausal(vp, srv, factory, strategyName, true, trial)
+	diag.BaselineTrace = baseTr.Events
+	diag.BaselineBundle = baseTr
 	if diag.Baseline == Success {
 		return diag
 	}
@@ -95,10 +107,13 @@ func (r *Runner) Diagnose(vp VantagePoint, srv Server, strategyName string, tria
 		vpCopy, srvCopy, calCopy := vp, srv, r.Cal
 		f.apply(&vpCopy, &srvCopy, &calCopy)
 		sub := &Runner{Cal: calCopy, Seed: r.Seed}
-		out, trace := sub.RunOneTraced(vpCopy, srvCopy, factory, true, trial)
+		out, tr := sub.RunOneCausal(vpCopy, srvCopy, factory, strategyName+" -"+f.Name, true, trial)
 		att := Attribution{
 			Factor: f.Name, Outcome: out, Explains: out == Success,
-			FirstDivergence: firstDivergence(diag.BaselineTrace, trace),
+			FirstDivergence: firstDivergence(diag.BaselineTrace, tr.Events),
+		}
+		if att.FirstDivergence != "" {
+			att.Bundle = tr
 		}
 		if att.Explains {
 			anyExplains = true
@@ -107,6 +122,48 @@ func (r *Runner) Diagnose(vp VantagePoint, srv Server, strategyName string, tria
 	}
 	diag.Residual = !anyExplains
 	return diag
+}
+
+// WriteDiagnosisBundles exports a diagnosis's causal traces into dir:
+// the baseline failing trial as <prefix>-baseline.*, and every
+// divergent factor re-run as <prefix>-without-<factor>.*. Each bundle
+// is a pcap + JSONL + Chrome trace + narrative set. It returns every
+// path written.
+func WriteDiagnosisBundles(d Diagnosis, dir string) ([]string, error) {
+	prefix := sanitizeName(d.Strategy)
+	if prefix == "" {
+		prefix = "trial"
+	}
+	var paths []string
+	if d.BaselineBundle != nil {
+		p, err := d.BaselineBundle.WriteBundle(dir, prefix+"-baseline")
+		if err != nil {
+			return paths, err
+		}
+		paths = append(paths, p...)
+	}
+	for _, att := range d.Attributions {
+		if att.Bundle == nil {
+			continue
+		}
+		p, err := att.Bundle.WriteBundle(dir, prefix+"-without-"+sanitizeName(att.Factor))
+		if err != nil {
+			return paths, err
+		}
+		paths = append(paths, p...)
+	}
+	return paths, nil
+}
+
+// sanitizeName makes a strategy or factor name filesystem-safe.
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':', ' ':
+			return '-'
+		}
+		return r
+	}, s)
 }
 
 // DiagnoseCampaign sweeps a strategy over the population, diagnoses

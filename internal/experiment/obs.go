@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"intango/internal/obs"
+	"intango/internal/trace"
 )
 
 // DefaultMaxFailures is how many failing-trial flight-recorder traces a
@@ -44,6 +45,9 @@ type TrialTrace struct {
 	// Dropped counts ring-evicted events preceding Events.
 	Dropped uint64
 	Events  []obs.Event
+	// Bundle is the full causal trace, retained only when the runner
+	// ran with Causal set; nil otherwise.
+	Bundle *trace.Trace
 }
 
 // NewObsSink returns an empty sink with a fresh registry.
@@ -73,7 +77,7 @@ func (s *ObsSink) merge(sh *ObsSink) {
 
 // absorb records one finished trial: the simulator's event count, the
 // outcome, the flight-recorder volume, and — on failure — the trace.
-func (s *ObsSink) absorb(rg *rig, label, vp, srv string, sensitive bool, trial int, out Outcome, rec *obs.Recorder) {
+func (s *ObsSink) absorb(rg *rig, label, vp, srv string, sensitive bool, trial int, out Outcome, rec *obs.Recorder, bundle *trace.Trace) {
 	rg.path.FlushCounters()
 	s.Registry.Add("netem.events", rg.sim.Steps())
 	s.Registry.Inc("trials.total")
@@ -85,6 +89,7 @@ func (s *ObsSink) absorb(rg *rig, label, vp, srv string, sensitive bool, trial i
 			Strategy: label, VP: vp, Server: srv,
 			Sensitive: sensitive, Trial: trial, Outcome: out,
 			Dropped: rec.Dropped(), Events: rec.Events(),
+			Bundle: bundle,
 		})
 		s.compact()
 	}

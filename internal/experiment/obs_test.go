@@ -199,3 +199,65 @@ func BenchmarkObsOverhead(b *testing.B) {
 		}
 	})
 }
+
+// TestObsCausalDeterminism extends the headline guarantee to causal
+// tracing: with Causal set, serial and parallel runs produce identical
+// results including the retained trace bundles; and turning tracing on
+// changes nothing about outcomes, counters, or flight-recorder events
+// — it only adds the bundles.
+func TestObsCausalDeterminism(t *testing.T) {
+	scale := Scale{VPs: 2, Servers: 2, Trials: 1}
+	run := func(workers int, causal bool) ([]Table1Row, *ObsSink) {
+		r := NewRunner(42)
+		r.Workers = workers
+		r.Causal = causal
+		r.Obs = NewObsSink()
+		rows := RunTable1Parallel(r, scale)
+		return rows, r.Obs
+	}
+	rowsOff, obsOff := run(1, false)
+	rowsOn, obsOn := run(1, true)
+	rowsOnPar, obsOnPar := run(8, true)
+
+	if !reflect.DeepEqual(rowsOff, rowsOn) {
+		t.Errorf("causal tracing changed table rows:\noff: %+v\non: %+v", rowsOff, rowsOn)
+	}
+	if !reflect.DeepEqual(rowsOn, rowsOnPar) {
+		t.Errorf("causal serial/parallel rows differ")
+	}
+	if !reflect.DeepEqual(obsOff.Snapshot().Counters, obsOn.Snapshot().Counters) {
+		t.Errorf("causal tracing changed counters")
+	}
+	// Serial vs parallel with tracing on: bundles and all.
+	if !reflect.DeepEqual(obsOn.Failures(), obsOnPar.Failures()) {
+		t.Errorf("causal serial/parallel failure traces (with bundles) differ")
+	}
+	// On vs off: identical apart from the attached bundles.
+	strip := func(ts []TrialTrace) []TrialTrace {
+		out := append([]TrialTrace(nil), ts...)
+		for i := range out {
+			out[i].Bundle = nil
+		}
+		return out
+	}
+	if !reflect.DeepEqual(strip(obsOn.Failures()), strip(obsOff.Failures())) {
+		t.Errorf("causal tracing perturbed the flight-recorder traces")
+	}
+	fails := obsOn.Failures()
+	if len(fails) == 0 {
+		t.Fatal("no failures retained; causal determinism check is vacuous")
+	}
+	for _, f := range fails {
+		if f.Bundle == nil {
+			t.Fatalf("failing trial %s/%s/%d retained no bundle", f.VP, f.Server, f.Trial)
+		}
+		if len(f.Bundle.Packets) == 0 || len(f.Bundle.Events) == 0 {
+			t.Fatalf("bundle for %s/%s/%d is empty", f.VP, f.Server, f.Trial)
+		}
+	}
+	for _, f := range obsOff.Failures() {
+		if f.Bundle != nil {
+			t.Fatal("bundle retained with tracing off")
+		}
+	}
+}

@@ -39,6 +39,11 @@ func (r *Runner) RunParallel(jobs []trialJob, tallies []*Tally) {
 	if workers < 1 {
 		workers = 1
 	}
+	var prog *progressTracker
+	if r.Progress != nil {
+		prog = newProgressTracker(jobs, *r.Progress)
+		r.progressAddr = prog.Addr()
+	}
 	var wg sync.WaitGroup
 	ch := make(chan trialJob, workers)
 	tallyShards := make([][]Tally, workers)
@@ -54,6 +59,7 @@ func (r *Runner) RunParallel(jobs []trialJob, tallies []*Tally) {
 			for job := range ch {
 				out := r.runOne(job.vp, job.srv, job.factory, job.sensitive, job.trial, obsShards[w], job.label)
 				tallyShards[w][job.sink].Add(out)
+				prog.note(job.label, out)
 			}
 		}(w)
 	}
@@ -62,6 +68,7 @@ func (r *Runner) RunParallel(jobs []trialJob, tallies []*Tally) {
 	}
 	close(ch)
 	wg.Wait()
+	prog.finish()
 	for w := range tallyShards {
 		for i, t := range tallyShards[w] {
 			tallies[i].Merge(t)

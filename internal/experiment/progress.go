@@ -1,0 +1,240 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ProgressOptions configures live campaign-progress reporting for
+// RunParallel. Reporting only observes atomic counters the workers
+// bump — it never touches the trial hot path's determinism.
+type ProgressOptions struct {
+	// Interval is how often a snapshot line is emitted (default 1s).
+	Interval time.Duration
+	// W receives the periodic snapshot lines (typically os.Stderr);
+	// nil disables printing.
+	W io.Writer
+	// HTTPAddr, when non-empty, serves live progress over HTTP:
+	// /progress returns the snapshot as JSON, /metrics as
+	// expvar-style plain text. Use "127.0.0.1:0" for an ephemeral
+	// port; the bound address is available via Runner.ProgressAddr
+	// while the campaign runs. Serving requires a registered server
+	// (import the progresshttp subpackage); without one the option is
+	// reported on W and ignored.
+	HTTPAddr string
+}
+
+// StrategyProgress is the per-strategy slice of a snapshot.
+type StrategyProgress struct {
+	Strategy string `json:"strategy"`
+	Done     int64  `json:"done"`
+	Success  int64  `json:"success"`
+}
+
+// ProgressSnapshot is one point-in-time view of a running campaign.
+type ProgressSnapshot struct {
+	Done         int64              `json:"done"`
+	Total        int64              `json:"total"`
+	TrialsPerSec float64            `json:"trials_per_sec"`
+	ETASeconds   float64            `json:"eta_seconds"`
+	Success      int64              `json:"success"`
+	Failure1     int64              `json:"failure_1"`
+	Failure2     int64              `json:"failure_2"`
+	Strategies   []StrategyProgress `json:"strategies,omitempty"`
+}
+
+// MetricsText renders the snapshot as expvar-style plain text, one
+// metric per line — the /metrics view of the progress endpoint.
+func (s ProgressSnapshot) MetricsText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trials_done %d\n", s.Done)
+	fmt.Fprintf(&b, "trials_total %d\n", s.Total)
+	fmt.Fprintf(&b, "trials_per_sec %g\n", s.TrialsPerSec)
+	fmt.Fprintf(&b, "eta_seconds %g\n", s.ETASeconds)
+	fmt.Fprintf(&b, "outcome_success %d\n", s.Success)
+	fmt.Fprintf(&b, "outcome_failure1 %d\n", s.Failure1)
+	fmt.Fprintf(&b, "outcome_failure2 %d\n", s.Failure2)
+	for _, sp := range s.Strategies {
+		fmt.Fprintf(&b, "strategy_done{strategy=%q} %d\n", sp.Strategy, sp.Done)
+		fmt.Fprintf(&b, "strategy_success{strategy=%q} %d\n", sp.Strategy, sp.Success)
+	}
+	return b.String()
+}
+
+// progressServer, when registered, serves live snapshots over HTTP.
+// It lives behind a hook (see RegisterProgressServer) so this package
+// never imports net/http: the http package's init-time heap globals
+// would otherwise be marked by every GC cycle of every program linking
+// the experiment harness, which is measurable on the trial hot path.
+var progressServer func(snapshot func() ProgressSnapshot, diag io.Writer, addr string) (stop func(), bound string)
+
+// RegisterProgressServer installs the HTTP serving implementation used
+// when ProgressOptions.HTTPAddr is set. The progresshttp subpackage
+// registers itself from init; programs that want the endpoint import
+// it, everything else stays free of net/http.
+func RegisterProgressServer(f func(snapshot func() ProgressSnapshot, diag io.Writer, addr string) (stop func(), bound string)) {
+	progressServer = f
+}
+
+// stratCounters is one strategy's counters. The map of strategies is
+// built complete before workers start, so workers only ever do atomic
+// increments — no locks, no map writes on the hot path.
+type stratCounters struct {
+	done, success atomic.Int64
+}
+
+// progressTracker accumulates campaign progress across workers.
+type progressTracker struct {
+	total    int64
+	start    time.Time
+	done     atomic.Int64
+	outcomes [3]atomic.Int64
+	strats   map[string]*stratCounters
+	names    []string // sorted strategy labels
+
+	opts    ProgressOptions
+	stop    chan struct{}
+	wg      chan struct{}
+	stopSrv func()
+	addr    string
+}
+
+// newProgressTracker sizes the tracker from the job list (labels are
+// known up-front) and starts the ticker and optional HTTP endpoint.
+func newProgressTracker(jobs []trialJob, opts ProgressOptions) *progressTracker {
+	t := &progressTracker{
+		total:  int64(len(jobs)),
+		start:  time.Now(),
+		strats: map[string]*stratCounters{},
+		opts:   opts,
+		stop:   make(chan struct{}),
+		wg:     make(chan struct{}),
+	}
+	for _, j := range jobs {
+		if _, ok := t.strats[j.label]; !ok {
+			t.strats[j.label] = &stratCounters{}
+			t.names = append(t.names, j.label)
+		}
+	}
+	sort.Strings(t.names)
+	if opts.HTTPAddr != "" {
+		t.serveHTTP(opts.HTTPAddr)
+	}
+	interval := opts.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go t.loop(interval)
+	return t
+}
+
+// note records one finished trial. Called from worker goroutines.
+func (t *progressTracker) note(label string, out Outcome) {
+	if t == nil {
+		return
+	}
+	t.done.Add(1)
+	t.outcomes[out].Add(1)
+	if sc := t.strats[label]; sc != nil {
+		sc.done.Add(1)
+		if out == Success {
+			sc.success.Add(1)
+		}
+	}
+}
+
+// snapshot assembles the current view.
+func (t *progressTracker) snapshot() ProgressSnapshot {
+	done := t.done.Load()
+	s := ProgressSnapshot{
+		Done: done, Total: t.total,
+		Success:  t.outcomes[Success].Load(),
+		Failure1: t.outcomes[Failure1].Load(),
+		Failure2: t.outcomes[Failure2].Load(),
+	}
+	elapsed := time.Since(t.start).Seconds()
+	if elapsed > 0 {
+		s.TrialsPerSec = float64(done) / elapsed
+	}
+	if s.TrialsPerSec > 0 && done < t.total {
+		s.ETASeconds = float64(t.total-done) / s.TrialsPerSec
+	}
+	for _, name := range t.names {
+		sc := t.strats[name]
+		s.Strategies = append(s.Strategies, StrategyProgress{
+			Strategy: name, Done: sc.done.Load(), Success: sc.success.Load(),
+		})
+	}
+	return s
+}
+
+// line renders a one-line human summary of a snapshot.
+func (s ProgressSnapshot) line() string {
+	pct := 0.0
+	if s.Total > 0 {
+		pct = 100 * float64(s.Done) / float64(s.Total)
+	}
+	out := fmt.Sprintf("progress: %d/%d (%.0f%%) %.1f trials/s S=%d F1=%d F2=%d",
+		s.Done, s.Total, pct, s.TrialsPerSec, s.Success, s.Failure1, s.Failure2)
+	if s.ETASeconds > 0 {
+		out += fmt.Sprintf(" eta=%s", (time.Duration(s.ETASeconds * float64(time.Second))).Round(time.Second))
+	}
+	return out
+}
+
+func (t *progressTracker) loop(interval time.Duration) {
+	defer close(t.wg)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if t.opts.W != nil {
+				fmt.Fprintln(t.opts.W, t.snapshot().line())
+			}
+		case <-t.stop:
+			return
+		}
+	}
+}
+
+// serveHTTP binds the progress endpoint through the registered server.
+// An unregistered server or a bind failure is reported on W (when set)
+// and otherwise ignored: progress reporting must never abort a
+// campaign.
+func (t *progressTracker) serveHTTP(addr string) {
+	if progressServer == nil {
+		if t.opts.W != nil {
+			fmt.Fprintln(t.opts.W, "progress: http endpoint unavailable: no server registered (import the progresshttp package)")
+		}
+		return
+	}
+	t.stopSrv, t.addr = progressServer(t.snapshot, t.opts.W, addr)
+}
+
+// finish stops the ticker and endpoint and emits the final snapshot.
+func (t *progressTracker) finish() {
+	if t == nil {
+		return
+	}
+	close(t.stop)
+	<-t.wg
+	if t.stopSrv != nil {
+		t.stopSrv()
+	}
+	if t.opts.W != nil {
+		fmt.Fprintln(t.opts.W, t.snapshot().line())
+	}
+}
+
+// Addr returns the bound HTTP endpoint address ("" when none).
+func (t *progressTracker) Addr() string {
+	if t == nil {
+		return ""
+	}
+	return t.addr
+}

@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProgressTracker exercises the tracker directly: counters, the
+// snapshot math, and the metrics rendering.
+func TestProgressTracker(t *testing.T) {
+	jobs := []trialJob{
+		{label: "a"}, {label: "a"}, {label: "b"}, {label: "b"},
+	}
+	pt := newProgressTracker(jobs, ProgressOptions{
+		Interval: time.Hour, // never ticks during the test
+	})
+	pt.note("a", Success)
+	pt.note("a", Failure2)
+	pt.note("b", Success)
+
+	s := pt.snapshot()
+	if s.Done != 3 || s.Total != 4 || s.Success != 2 || s.Failure2 != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if len(s.Strategies) != 2 || s.Strategies[0].Strategy != "a" || s.Strategies[0].Success != 1 {
+		t.Fatalf("strategies = %+v", s.Strategies)
+	}
+
+	text := s.MetricsText()
+	for _, want := range []string{"trials_done 3", "trials_total 4", `strategy_success{strategy="a"} 1`} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	pt.finish()
+}
+
+// TestProgressHTTPUnregistered: this package deliberately never links
+// net/http, so asking for the endpoint without importing the
+// progresshttp package must degrade to a diagnostic, not a crash or an
+// aborted campaign. (The endpoint itself is tested in progresshttp.)
+func TestProgressHTTPUnregistered(t *testing.T) {
+	if progressServer != nil {
+		t.Skip("a progress server is registered in this binary")
+	}
+	var buf bytes.Buffer
+	pt := newProgressTracker([]trialJob{{label: "a"}}, ProgressOptions{
+		Interval: time.Hour, W: &buf, HTTPAddr: "127.0.0.1:0",
+	})
+	if pt.Addr() != "" {
+		t.Fatalf("endpoint bound without a registered server: %s", pt.Addr())
+	}
+	if !strings.Contains(buf.String(), "no server registered") {
+		t.Fatalf("missing diagnostic, got %q", buf.String())
+	}
+	pt.finish()
+}
+
+// TestRunParallelProgress: a campaign with progress enabled reports
+// every trial and writes a final summary line, without perturbing
+// results.
+func TestRunParallelProgress(t *testing.T) {
+	scale := Scale{VPs: 2, Servers: 2, Trials: 1}
+	var buf bytes.Buffer
+	r := NewRunner(42)
+	r.Workers = 4
+	r.Obs = NewObsSink()
+	r.Progress = &ProgressOptions{Interval: time.Hour, W: &buf}
+	rows := RunTable1Parallel(r, scale)
+
+	base := NewRunner(42)
+	base.Workers = 4
+	base.Obs = NewObsSink()
+	baseRows := RunTable1Parallel(base, scale)
+	for i := range rows {
+		if rows[i] != baseRows[i] {
+			t.Fatalf("progress reporting changed results: %+v vs %+v", rows[i], baseRows[i])
+		}
+	}
+	line := buf.String()
+	if !strings.Contains(line, "progress:") {
+		t.Fatalf("no final progress line: %q", line)
+	}
+	// The final snapshot must account for every job.
+	if !strings.Contains(line, "(100%)") {
+		t.Fatalf("final line not at 100%%: %q", line)
+	}
+}
+
+// TestProgressNilSafe: a nil tracker (progress disabled) must be inert.
+func TestProgressNilSafe(t *testing.T) {
+	var pt *progressTracker
+	pt.note("x", Success)
+	pt.finish()
+	if pt.Addr() != "" {
+		t.Fatal("nil tracker has an address")
+	}
+}

@@ -1,0 +1,53 @@
+// Package progresshttp serves live campaign-progress snapshots over
+// HTTP: /progress as JSON, /metrics as expvar-style plain text.
+//
+// It registers itself with the experiment harness from init, so
+// enabling the endpoint is just an import:
+//
+//	import _ "intango/internal/experiment/progresshttp"
+//
+// The split exists so internal/experiment never links net/http —
+// the http package's init-time heap globals would otherwise be marked
+// by every GC cycle of every binary using the harness, a measurable
+// tax on the trial hot path (BenchmarkTrialHotPath).
+package progresshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+
+	"intango/internal/experiment"
+)
+
+func init() {
+	experiment.RegisterProgressServer(Serve)
+}
+
+// Serve binds addr and serves snapshot() on /progress (JSON) and
+// /metrics (plain text) until stop is called. A bind failure is
+// reported on diag (when set) and returns a nil stop with an empty
+// bound address: progress serving must never abort a campaign.
+func Serve(snapshot func() experiment.ProgressSnapshot, diag io.Writer, addr string) (stop func(), bound string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		if diag != nil {
+			fmt.Fprintf(diag, "progress: http endpoint unavailable: %v\n", err)
+		}
+		return nil, ""
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, snapshot().MetricsText())
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return func() { _ = srv.Close() }, ln.Addr().String()
+}

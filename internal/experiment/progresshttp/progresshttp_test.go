@@ -1,0 +1,78 @@
+package progresshttp_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"intango/internal/experiment"
+	"intango/internal/experiment/progresshttp"
+)
+
+// TestServe drives the HTTP endpoint directly against a fixed
+// snapshot.
+func TestServe(t *testing.T) {
+	snap := experiment.ProgressSnapshot{
+		Done: 3, Total: 4, Success: 2, Failure2: 1,
+		Strategies: []experiment.StrategyProgress{{Strategy: "a", Done: 2, Success: 1}},
+	}
+	stop, addr := progresshttp.Serve(func() experiment.ProgressSnapshot { return snap }, nil, "127.0.0.1:0")
+	if addr == "" {
+		t.Fatal("no endpoint bound")
+	}
+	defer stop()
+
+	resp, err := http.Get("http://" + addr + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got experiment.ProgressSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.Done != 3 || got.Total != 4 {
+		t.Fatalf("http snapshot = %+v", got)
+	}
+
+	resp, err = http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{"trials_done 3", "trials_total 4", `strategy_success{strategy="a"} 1`} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestServeBindFailure: an unusable address degrades to a diagnostic.
+func TestServeBindFailure(t *testing.T) {
+	var buf strings.Builder
+	stop, addr := progresshttp.Serve(func() experiment.ProgressSnapshot { return experiment.ProgressSnapshot{} }, &buf, "256.0.0.1:0")
+	if stop != nil || addr != "" {
+		t.Fatalf("bind to bogus address succeeded: %q", addr)
+	}
+	if !strings.Contains(buf.String(), "unavailable") {
+		t.Fatalf("missing diagnostic, got %q", buf.String())
+	}
+}
+
+// TestCampaignEndpointWiring: importing this package is all it takes —
+// a campaign with HTTPAddr set binds the endpoint through the
+// registered hook.
+func TestCampaignEndpointWiring(t *testing.T) {
+	r := experiment.NewRunner(42)
+	r.Workers = 2
+	r.Progress = &experiment.ProgressOptions{Interval: time.Hour, HTTPAddr: "127.0.0.1:0"}
+	experiment.RunTable1Parallel(r, experiment.Scale{VPs: 1, Servers: 1, Trials: 1})
+	if r.ProgressAddr() == "" {
+		t.Fatal("campaign never bound the progress endpoint")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"intango/internal/obs"
 	"intango/internal/packet"
 	"intango/internal/tcpstack"
+	"intango/internal/trace"
 )
 
 // Outcome is the §3.4 trial classification.
@@ -64,6 +65,16 @@ type Runner struct {
 	// packets on the heap. The pooling determinism test uses it as the
 	// control arm; campaigns leave it false.
 	NoPool bool
+	// Causal, when set (and Obs is attached), records a full causal
+	// trace — packet bytes with lineage plus the complete event stream —
+	// for every trial and retains the bundle on each failing trial the
+	// sink keeps. Off by default: tracing costs per-packet serialization.
+	Causal bool
+	// Progress, when set, emits periodic campaign-progress snapshots
+	// during RunParallel.
+	Progress *ProgressOptions
+
+	progressAddr string
 
 	poolOnce sync.Once
 	pool     *packet.Pool
@@ -83,6 +94,10 @@ func (r *Runner) packetPool() *packet.Pool {
 // PoolStats snapshots the shared packet pool's traffic counters (zero
 // when pooling is disabled or no trial has run).
 func (r *Runner) PoolStats() packet.PoolStats { return r.pool.Stats() }
+
+// ProgressAddr returns the bound address of the live progress HTTP
+// endpoint once RunParallel has started it ("" when none configured).
+func (r *Runner) ProgressAddr() string { return r.progressAddr }
 
 // NewRunner builds a runner with the default calibration.
 func NewRunner(seed int64) *Runner {
@@ -231,14 +246,21 @@ func (rg *rig) attachObs(b *obs.Obs) {
 // runRig executes one constructed trial: optional obs attachment, one
 // HTTP fetch, §3.4 classification. A nil reg runs uninstrumented (the
 // hot path); otherwise a fresh per-trial flight recorder keyed to the
-// simulator's virtual clock is wired through the whole rig.
-func (r *Runner) runRig(vp VantagePoint, srv Server, factory core.Factory, sensitive bool, trial int, reg *obs.Registry) (Outcome, *rig, *obs.Recorder) {
+// simulator's virtual clock is wired through the whole rig. A non-nil
+// tc additionally taps the recorder and the path so the tracer sees the
+// complete event stream and every wire packet; tracing only observes —
+// it never schedules events or draws randomness, so a traced trial is
+// bit-identical to an untraced one.
+func (r *Runner) runRig(vp VantagePoint, srv Server, factory core.Factory, sensitive bool, trial int, reg *obs.Registry, tc *trace.Tracer) (Outcome, *rig, *obs.Recorder) {
 	trialSeed := r.pairSeed(vp, srv) ^ int64(uint64(trial)*0x9e3779b97f4a7c15)
 	rg := r.build(vp, srv, trialSeed)
 	var rec *obs.Recorder
 	if reg != nil {
 		rec = obs.NewRecorder(obs.DefaultRingSize, rg.sim.Now)
 		rg.attachObs(obs.New(reg, rec))
+		if tc != nil {
+			tc.Attach(rec, rg.path)
+		}
 	}
 	env := core.DefaultEnv(insertionTTL(srv), rg.sim.Rand())
 	rg.engine = core.NewEngine(rg.sim, rg.path, rg.cli, env)
@@ -254,12 +276,23 @@ func (r *Runner) runRig(vp VantagePoint, srv Server, factory core.Factory, sensi
 // failure-trace retention key.
 func (r *Runner) runOne(vp VantagePoint, srv Server, factory core.Factory, sensitive bool, trial int, sink *ObsSink, label string) Outcome {
 	var reg *obs.Registry
+	var tc *trace.Tracer
 	if sink != nil {
 		reg = sink.Registry
+		if r.Causal {
+			tc = trace.New()
+		}
 	}
-	out, rg, rec := r.runRig(vp, srv, factory, sensitive, trial, reg)
+	out, rg, rec := r.runRig(vp, srv, factory, sensitive, trial, reg, tc)
 	if sink != nil {
-		sink.absorb(rg, label, vp.Name, srv.Name, sensitive, trial, out, rec)
+		var bundle *trace.Trace
+		if tc != nil && out != Success {
+			bundle = tc.Finish(trace.Meta{
+				Strategy: label, VP: vp.Name, Server: srv.Name,
+				Trial: trial, Outcome: out.String(),
+			})
+		}
+		sink.absorb(rg, label, vp.Name, srv.Name, sensitive, trial, out, rec, bundle)
 	}
 	return out
 }
@@ -273,8 +306,21 @@ func (r *Runner) RunOne(vp VantagePoint, srv Server, factory core.Factory, sensi
 // returns the classification together with the retained trace — the
 // §3.4 controlled-experiment hook diagnosis builds on.
 func (r *Runner) RunOneTraced(vp VantagePoint, srv Server, factory core.Factory, sensitive bool, trial int) (Outcome, []obs.Event) {
-	out, _, rec := r.runRig(vp, srv, factory, sensitive, trial, obs.NewRegistry())
+	out, _, rec := r.runRig(vp, srv, factory, sensitive, trial, obs.NewRegistry(), nil)
 	return out, rec.Events()
+}
+
+// RunOneCausal runs one trial with full causal tracing — lineage-
+// annotated packet capture plus the complete (unevicted) event stream —
+// and returns the classification with the assembled trace. label names
+// the strategy in the trace meta; pass "" for no strategy.
+func (r *Runner) RunOneCausal(vp VantagePoint, srv Server, factory core.Factory, label string, sensitive bool, trial int) (Outcome, *trace.Trace) {
+	tc := trace.New()
+	out, _, _ := r.runRig(vp, srv, factory, sensitive, trial, obs.NewRegistry(), tc)
+	return out, tc.Finish(trace.Meta{
+		Strategy: label, VP: vp.Name, Server: srv.Name,
+		Trial: trial, Outcome: out.String(),
+	})
 }
 
 // fetch performs one HTTP GET (optionally with the sensitive keyword)

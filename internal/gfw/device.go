@@ -11,11 +11,13 @@ import (
 )
 
 // Event is one observable state transition inside a device; tests and
-// the probing tool subscribe to them.
+// the probing tool subscribe to them. Pkt is the causal-tracing wire
+// ID of the packet that caused the transition (zero when unknown).
 type Event struct {
 	Kind   string
 	Tuple  packet.FourTuple
 	Detail string
+	Pkt    uint32
 }
 
 // Device is one GFW DPI instance wiretapping a hop.
@@ -108,18 +110,39 @@ func (d *Device) SetRSTResyncs(v bool) { d.rstResyncs = v }
 func (d *Device) SetSegmentLastWins(v bool) { d.segLastWins = v }
 
 func (d *Device) event(kind string, tuple packet.FourTuple, detail string) {
+	d.eventPkt(kind, tuple, nil, detail)
+}
+
+// eventPkt is event keyed to the packet that caused the state
+// transition, so the flight recorder (and the causal tracer tapping
+// it) can tie censor state changes back to specific wire packets.
+func (d *Device) eventPkt(kind string, tuple packet.FourTuple, cause *packet.Packet, detail string) {
 	d.Stats[kind]++
+	id := lineageOf(cause)
 	if d.Obs != nil {
 		d.Obs.Count("gfw." + kind)
 		note := d.name
 		if detail != "" {
 			note += " " + detail
 		}
-		d.Obs.Trace("gfw", kind, 0, 0, note)
+		d.Obs.TracePkt("gfw", kind, id, 0, 0, 0, note)
 	}
 	if d.OnEvent != nil {
-		d.OnEvent(Event{Kind: kind, Tuple: tuple, Detail: detail})
+		d.OnEvent(Event{Kind: kind, Tuple: tuple, Detail: detail, Pkt: id})
 	}
+}
+
+// lineageOf resolves the wire ID a GFW event should key on. A
+// reassembled whole datagram never went on the wire itself (ID zero);
+// it inherits the completing fragment's identity via Parent.
+func lineageOf(pkt *packet.Packet) uint32 {
+	if pkt == nil {
+		return 0
+	}
+	if pkt.Lin.ID != 0 {
+		return pkt.Lin.ID
+	}
+	return pkt.Lin.Parent
 }
 
 // Process implements netem.Processor as an on-path tap: it always
@@ -148,6 +171,11 @@ func (d *Device) processTCPDatagram(ctx *netem.Context, pkt *packet.Packet) {
 		if err != nil || whole == nil {
 			return
 		}
+		// The whole datagram is internal to the device — it inherits
+		// the completing fragment's wire identity as its parent, and the
+		// reassembly decision is audited against that fragment.
+		whole.Lin = packet.Lineage{Parent: pkt.Lin.ID, Origin: pkt.Lin.Origin}
+		d.eventPkt("frag-complete", pkt.Tuple(), pkt, "first-wins")
 		pkt = whole
 	}
 	if pkt.TCP == nil {
@@ -179,11 +207,11 @@ func (d *Device) processTCP(ctx *netem.Context, pkt *packet.Packet) {
 	// §8 countermeasure ablations: a hardened device validates fields
 	// the measured GFW does not.
 	if d.cfg.ValidateTCPChecksum && !pkt.TCP.VerifyChecksum(pkt.IP.Src, pkt.IP.Dst, pkt.Payload) {
-		d.event("harden-drop-checksum", pkt.Tuple(), "")
+		d.eventPkt("harden-drop-checksum", pkt.Tuple(), pkt, "")
 		return
 	}
 	if d.cfg.ValidateMD5 && pkt.TCP.HasMD5() {
-		d.event("harden-drop-md5", pkt.Tuple(), "")
+		d.eventPkt("harden-drop-md5", pkt.Tuple(), pkt, "")
 		return
 	}
 
@@ -227,7 +255,7 @@ func (d *Device) maybeCreateTCB(ctx *netem.Context, key packet.FourTuple, pkt *p
 		t.stream = newStream(d.cfg.ReassemblyWindow, d.matcher.NewStreamScanner())
 		t.stream.rebase(t.clientNext)
 		d.tcbs[key] = t
-		d.event("tcb-create", key, "syn")
+		d.eventPkt("tcb-create", key, pkt, "syn")
 	case tcp.HasFlag(packet.FlagSYN) && tcp.HasFlag(packet.FlagACK) && d.cfg.Model == ModelEvolved2017:
 		// The GFW assumes a SYN/ACK's source is the server (§5.2).
 		t := &tcb{
@@ -241,7 +269,7 @@ func (d *Device) maybeCreateTCB(ctx *netem.Context, key packet.FourTuple, pkt *p
 		t.stream = newStream(d.cfg.ReassemblyWindow, d.matcher.NewStreamScanner())
 		t.stream.rebase(t.clientNext)
 		d.tcbs[key] = t
-		d.event("tcb-create-reversed", key, "synack")
+		d.eventPkt("tcb-create-reversed", key, pkt, "synack")
 	}
 }
 
@@ -260,18 +288,18 @@ func (d *Device) fromClientSide(ctx *netem.Context, key packet.FourTuple, t *tcb
 
 	switch {
 	case tcp.HasFlag(packet.FlagRST):
-		d.handleRST(key, t)
+		d.handleRST(key, t, pkt)
 		return
 	case tcp.HasFlag(packet.FlagSYN) && !tcp.HasFlag(packet.FlagACK):
 		t.synCount++
 		if d.cfg.Model == ModelEvolved2017 && t.synCount >= 2 {
-			d.enterResync(key, t, "multiple-syn")
+			d.enterResync(key, t, pkt, "multiple-syn")
 		}
 		return
 	case tcp.HasFlag(packet.FlagFIN) && d.cfg.Model == ModelKhattak2013:
 		// The old model tears down on FIN; the evolved model does not
 		// (§4, Prior Assumption 3).
-		d.teardown(key, t, "fin")
+		d.teardown(key, t, pkt, "fin")
 		return
 	}
 
@@ -303,7 +331,7 @@ func (d *Device) ingestClientData(ctx *netem.Context, key packet.FourTuple, t *t
 		t.clientNext = tcp.Seq
 		t.stream.rebase(tcp.Seq)
 		t.state = stTracking
-		d.event("resync-applied", key, "client-data")
+		d.eventPkt("resync-applied", key, pkt, "client-data")
 	}
 
 	// A type-1 device scans packets individually, with no reassembly:
@@ -340,7 +368,7 @@ func (d *Device) fromServerSide(ctx *netem.Context, key packet.FourTuple, t *tcb
 
 	switch {
 	case tcp.HasFlag(packet.FlagRST):
-		d.handleRST(key, t)
+		d.handleRST(key, t, pkt)
 		return
 	case tcp.HasFlag(packet.FlagSYN) && tcp.HasFlag(packet.FlagACK):
 		t.synAckCount++
@@ -352,15 +380,15 @@ func (d *Device) fromServerSide(ctx *netem.Context, key packet.FourTuple, t *tcb
 				t.haveServer = true
 				t.stream.rebase(t.clientNext)
 				t.state = stTracking
-				d.event("resync-applied", key, "synack")
+				d.eventPkt("resync-applied", key, pkt, "synack")
 				return
 			}
 			if t.synAckCount >= 2 {
-				d.enterResync(key, t, "multiple-synack")
+				d.enterResync(key, t, pkt, "multiple-synack")
 				return
 			}
 			if t.haveISN && tcp.Ack != t.clientISN.Add(1) {
-				d.enterResync(key, t, "synack-ack-mismatch")
+				d.enterResync(key, t, pkt, "synack-ack-mismatch")
 				return
 			}
 		}
@@ -379,7 +407,7 @@ func (d *Device) fromServerSide(ctx *netem.Context, key packet.FourTuple, t *tcb
 		}
 		return
 	case tcp.HasFlag(packet.FlagFIN) && d.cfg.Model == ModelKhattak2013:
-		d.teardown(key, t, "fin-server")
+		d.teardown(key, t, pkt, "fin-server")
 		return
 	}
 
@@ -399,10 +427,10 @@ func (d *Device) fromServerSide(ctx *netem.Context, key packet.FourTuple, t *tcb
 			}
 			if matches := t.respStream.insert(tcp.Seq, pkt.Payload, false); len(matches) > 0 {
 				t.detected = true
-				d.event("detect-response", key, "")
-				d.injectResets(ctx, t, d.cfg.Type1, d.cfg.Type2)
+				d.eventPkt("detect-response", key, pkt, "")
+				d.injectResets(ctx, t, d.cfg.Type1, d.cfg.Type2, pkt)
 				if d.cfg.Type2 {
-					d.blockPair(ctx, t.client, t.server)
+					d.blockPair(ctx, t.client, t.server, pkt)
 				}
 			}
 		}
@@ -416,24 +444,24 @@ func (d *Device) fromServerSide(ctx *netem.Context, key packet.FourTuple, t *tcb
 }
 
 // handleRST applies Hypothesized New Behavior 3.
-func (d *Device) handleRST(key packet.FourTuple, t *tcb) {
+func (d *Device) handleRST(key packet.FourTuple, t *tcb, pkt *packet.Packet) {
 	if d.cfg.Model == ModelEvolved2017 && d.rstResyncs {
-		d.enterResync(key, t, "rst")
+		d.enterResync(key, t, pkt, "rst")
 		return
 	}
-	d.teardown(key, t, "rst")
+	d.teardown(key, t, pkt, "rst")
 }
 
-func (d *Device) enterResync(key packet.FourTuple, t *tcb, why string) {
+func (d *Device) enterResync(key packet.FourTuple, t *tcb, cause *packet.Packet, why string) {
 	if t.state != stResync {
 		t.state = stResync
-		d.event("resync", key, why)
+		d.eventPkt("resync", key, cause, why)
 	}
 }
 
-func (d *Device) teardown(key packet.FourTuple, t *tcb, why string) {
+func (d *Device) teardown(key packet.FourTuple, t *tcb, cause *packet.Packet, why string) {
 	delete(d.tcbs, key)
-	d.event("teardown", key, why)
+	d.eventPkt("teardown", key, cause, why)
 }
 
 // TCBState reports the shadow state for a connection, for probing tools

@@ -37,7 +37,7 @@ func (d *Device) inspect(ctx *netem.Context, key packet.FourTuple, t *tcb, pkt *
 	// Tor: fingerprint, reset, and dispatch the active prober (§7.3).
 	if d.cfg.TorFiltering && t.classified == dpi.ProtoTor && !t.torHandled {
 		t.torHandled = true
-		d.event("tor-fingerprint", key, "")
+		d.eventPkt("tor-fingerprint", key, pkt, "")
 		d.launchActiveProbe(ctx, t.server, t.sport)
 		type2Hit = true
 	}
@@ -54,15 +54,15 @@ func (d *Device) inspect(ctx *netem.Context, key packet.FourTuple, t *tcb, pkt *
 	// GFW overload: some flows escape detection entirely (§3.4).
 	if d.rng.Float64() < d.cfg.DetectionMissProb {
 		t.immune = true
-		d.event("detect-miss", key, "overload")
+		d.eventPkt("detect-miss", key, pkt, "overload")
 		return
 	}
 
 	t.detected = true
-	d.event("detect", key, "")
-	d.injectResets(ctx, t, type1Hit && d.cfg.Type1, d.cfg.Type2)
+	d.eventPkt("detect", key, pkt, "")
+	d.injectResets(ctx, t, type1Hit && d.cfg.Type1, d.cfg.Type2, pkt)
 	if d.cfg.Type2 {
-		d.blockPair(ctx, t.client, t.server)
+		d.blockPair(ctx, t.client, t.server, pkt)
 	}
 }
 
@@ -77,11 +77,12 @@ func (d *Device) domainPoisoned(name string) bool {
 }
 
 // blockPair starts (or refreshes) the 90-second blocklist entry for a
-// client/server address pair.
-func (d *Device) blockPair(ctx *netem.Context, client, server packet.Addr) {
+// client/server address pair. cause is the packet whose detection
+// triggered the entry.
+func (d *Device) blockPair(ctx *netem.Context, client, server packet.Addr, cause *packet.Packet) {
 	key := pairKey(client, server)
 	d.pairBlock[key] = ctx.Sim.Now() + d.cfg.BlockDuration
-	d.event("block", packet.FourTuple{SrcAddr: client, DstAddr: server}, "")
+	d.eventPkt("block", packet.FourTuple{SrcAddr: client, DstAddr: server}, cause, "")
 }
 
 func pairKey(a, b packet.Addr) [2]packet.Addr {
@@ -128,8 +129,9 @@ func (d *Device) enforceBlocklist(ctx *netem.Context, pkt *packet.Packet) bool {
 		// correct ack, obstructing the legitimate handshake.
 		forged := ctx.Path.Pool.NewTCP(pkt.IP.Dst, tcp.DstPort, pkt.IP.Src, tcp.SrcPort,
 			packet.FlagSYN|packet.FlagACK, packet.Seq(d.rng.Uint32()), tcp.Seq.Add(1), nil)
+		forged.Lin = packet.Lineage{Origin: packet.OriginGFW, Parent: lineageOf(pkt)}
 		d.injectToward(ctx, pkt.IP.Src, forged)
-		d.event("forged-synack", tuple, "")
+		d.eventPkt("forged-synack", tuple, pkt, "")
 		return true
 	}
 	// Reset both ends, keyed off the offending packet's numbers.
@@ -137,18 +139,21 @@ func (d *Device) enforceBlocklist(ctx *netem.Context, pkt *packet.Packet) bool {
 	if tcp.HasFlag(packet.FlagACK) {
 		toSrc = tcp.Ack
 	}
-	d.injectTypedResets(ctx, pkt.IP.Dst, tcp.DstPort, pkt.IP.Src, tcp.SrcPort, toSrc, tcp.Seq.Add(len(pkt.Payload)))
-	d.injectTypedResets(ctx, pkt.IP.Src, tcp.SrcPort, pkt.IP.Dst, tcp.DstPort, tcp.Seq.Add(len(pkt.Payload)), toSrc)
-	d.event("block-enforce", tuple, "")
+	d.injectTypedResets(ctx, pkt.IP.Dst, tcp.DstPort, pkt.IP.Src, tcp.SrcPort, toSrc, tcp.Seq.Add(len(pkt.Payload)), lineageOf(pkt))
+	d.injectTypedResets(ctx, pkt.IP.Src, tcp.SrcPort, pkt.IP.Dst, tcp.DstPort, tcp.Seq.Add(len(pkt.Payload)), toSrc, lineageOf(pkt))
+	d.eventPkt("block-enforce", tuple, pkt, "")
 	return true
 }
 
 // injectResets fires the §2.1 reset volley for a detected TCB: type-1
 // sends one bare RST each way; type-2 sends three RST/ACKs each way at
-// offsets {0, 1460, 4380} from the current sequence.
-func (d *Device) injectResets(ctx *netem.Context, t *tcb, type1, type2 bool) {
+// offsets {0, 1460, 4380} from the current sequence. cause is the
+// packet whose detection triggered the volley; every forged reset
+// records it as its lineage parent.
+func (d *Device) injectResets(ctx *netem.Context, t *tcb, type1, type2 bool, cause *packet.Packet) {
 	serverSeq := t.serverNext // X: current server-side sequence (§2.1)
 	clientSeq := t.clientNext
+	parent := lineageOf(cause)
 
 	if type1 {
 		// Type-1: bare RST, random TTL and window (§2.1).
@@ -156,25 +161,27 @@ func (d *Device) injectResets(ctx *netem.Context, t *tcb, type1, type2 bool) {
 		toClient.IP.TTL = uint8(40 + d.rng.Intn(200))
 		toClient.TCP.Window = uint16(d.rng.Intn(65536))
 		toClient.Finalize()
+		toClient.Lin = packet.Lineage{Origin: packet.OriginGFW, Parent: parent}
 		d.injectToward(ctx, t.client, toClient)
 
 		toServer := ctx.Path.Pool.NewTCP(t.client, t.cport, t.server, t.sport, packet.FlagRST, clientSeq, 0, nil)
 		toServer.IP.TTL = uint8(40 + d.rng.Intn(200))
 		toServer.TCP.Window = uint16(d.rng.Intn(65536))
 		toServer.Finalize()
+		toServer.Lin = packet.Lineage{Origin: packet.OriginGFW, Parent: parent}
 		d.injectToward(ctx, t.server, toServer)
-		d.event("inject-type1", packet.FourTuple{SrcAddr: t.client, DstAddr: t.server}, "")
+		d.eventPkt("inject-type1", packet.FourTuple{SrcAddr: t.client, DstAddr: t.server}, cause, "")
 	}
 	if type2 {
-		d.injectTypedResets(ctx, t.server, t.sport, t.client, t.cport, serverSeq, clientSeq)
-		d.injectTypedResets(ctx, t.client, t.cport, t.server, t.sport, clientSeq, serverSeq)
-		d.event("inject-type2", packet.FourTuple{SrcAddr: t.client, DstAddr: t.server}, "")
+		d.injectTypedResets(ctx, t.server, t.sport, t.client, t.cport, serverSeq, clientSeq, parent)
+		d.injectTypedResets(ctx, t.client, t.cport, t.server, t.sport, clientSeq, serverSeq, parent)
+		d.eventPkt("inject-type2", packet.FourTuple{SrcAddr: t.client, DstAddr: t.server}, cause, "")
 	}
 }
 
 // injectTypedResets emits the type-2 RST/ACK triple from (src,sport)
-// toward dst.
-func (d *Device) injectTypedResets(ctx *netem.Context, src packet.Addr, sport uint16, dst packet.Addr, dport uint16, seq, ack packet.Seq) {
+// toward dst, each stamped with the causing packet's lineage ID.
+func (d *Device) injectTypedResets(ctx *netem.Context, src packet.Addr, sport uint16, dst packet.Addr, dport uint16, seq, ack packet.Seq, parent uint32) {
 	for _, off := range d.cfg.ResetSeqOffsets {
 		p := ctx.Path.Pool.NewTCP(src, sport, dst, dport, packet.FlagRST|packet.FlagACK, seq.Add(off), ack, nil)
 		// Type-2 signature: cyclically increasing TTL and window (§2.1).
@@ -186,6 +193,7 @@ func (d *Device) injectTypedResets(ctx *netem.Context, src packet.Addr, sport ui
 		p.IP.TTL = d.t2TTL
 		p.TCP.Window = d.t2Win
 		p.Finalize()
+		p.Lin = packet.Lineage{Origin: packet.OriginGFW, Parent: parent}
 		d.injectToward(ctx, dst, p)
 	}
 }
@@ -232,8 +240,9 @@ func (d *Device) processUDP(ctx *netem.Context, pkt *packet.Packet) {
 		return
 	}
 	resp := ctx.Path.Pool.NewUDP(pkt.IP.Dst, 53, pkt.IP.Src, pkt.UDP.SrcPort, payload)
+	resp.Lin = packet.Lineage{Origin: packet.OriginGFW, Parent: lineageOf(pkt)}
 	d.injectToward(ctx, pkt.IP.Src, resp)
-	d.event("dns-poison", pkt.Tuple(), name)
+	d.eventPkt("dns-poison", pkt.Tuple(), pkt, name)
 }
 
 // PoisonAddr is the well-known bogus address the GFW's DNS poisoner

@@ -55,6 +55,7 @@ func (d *Device) launchActiveProbe(ctx *netem.Context, bridge packet.Addr, port 
 	probeCtx := &netem.Context{Sim: ctx.Sim, Path: ctx.Path, HopIndex: ctx.HopIndex}
 	ctx.Sim.At(d.cfg.ActiveProbeDelay, func() {
 		syn := probeCtx.Path.Pool.NewTCP(ps.proberAddr, ps.proberPort, bridge, port, packet.FlagSYN, ps.iss, 0, nil)
+		syn.Lin.Origin = packet.OriginGFW
 		d.injectToward(probeCtx, bridge, syn)
 	})
 }
@@ -84,10 +85,12 @@ func (d *Device) proberPacket(ctx *netem.Context, pkt *packet.Packet) bool {
 			// Complete the handshake and send a Tor-style hello.
 			ack := ctx.Path.Pool.NewTCP(ps.proberAddr, ps.proberPort, ps.bridge, ps.port,
 				packet.FlagACK, ps.iss.Add(1), tcp.Seq.Add(1), nil)
+			ack.Lin = packet.Lineage{Origin: packet.OriginGFW, Parent: pkt.Lin.ID}
 			d.injectToward(ctx, ps.bridge, ack)
 			hello := torProbeHello()
 			data := ctx.Path.Pool.NewTCP(ps.proberAddr, ps.proberPort, ps.bridge, ps.port,
 				packet.FlagPSH|packet.FlagACK, ps.iss.Add(1), tcp.Seq.Add(1), hello)
+			data.Lin = packet.Lineage{Origin: packet.OriginGFW, Parent: pkt.Lin.ID}
 			d.injectToward(ctx, ps.bridge, data)
 		} else if tcp.HasFlag(packet.FlagRST) {
 			d.finishProbe(key, ps, false)

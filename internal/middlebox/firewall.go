@@ -105,7 +105,7 @@ func (f *StatefulFirewall) Process(ctx *netem.Context, pkt *packet.Packet, dir n
 			c.dead = true
 			if o := ctx.Obs(); o != nil {
 				o.Count("middlebox.fw-conn-killed")
-				o.Trace("middlebox", "fw-conn-killed", uint32(tcp.Seq), tcp.Flags, f.name+" rst")
+				o.TracePkt("middlebox", "fw-conn-killed", pkt.Lin.ID, pkt.Lin.Parent, uint32(tcp.Seq), tcp.Flags, f.name+" rst")
 			}
 		}
 		return netem.Pass // the killing packet itself is forwarded
@@ -114,7 +114,7 @@ func (f *StatefulFirewall) Process(ctx *netem.Context, pkt *packet.Packet, dir n
 			c.dead = true
 			if o := ctx.Obs(); o != nil {
 				o.Count("middlebox.fw-conn-killed")
-				o.Trace("middlebox", "fw-conn-killed", uint32(tcp.Seq), tcp.Flags, f.name+" fin")
+				o.TracePkt("middlebox", "fw-conn-killed", pkt.Lin.ID, pkt.Lin.Parent, uint32(tcp.Seq), tcp.Flags, f.name+" fin")
 			}
 		}
 		return netem.Pass

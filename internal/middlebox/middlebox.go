@@ -64,10 +64,13 @@ func (m *FragmentReassembler) Process(ctx *netem.Context, pkt *packet.Packet, di
 	if err != nil || whole == nil {
 		return netem.Drop // buffered (or broken): the fragment itself stops here
 	}
+	// The rebuilt datagram descends from the fragment that completed it.
+	whole.Lin = packet.Lineage{Origin: packet.OriginMiddlebox, Parent: pkt.Lin.ID}
 	if o := ctx.Obs(); o != nil {
 		// The rebuilt datagram is what defeats fragment-based evasion
 		// downstream (§3.4) — worth a dedicated counter.
 		o.Count("middlebox.frag-reassembled")
+		o.TracePkt("middlebox", "frag-reassembled", pkt.Lin.ID, pkt.Lin.Parent, uint32(whole.IP.ID), 0, m.Name())
 	}
 	ctx.Inject(dir, whole, 0)
 	return netem.Drop

@@ -117,6 +117,13 @@ type Path struct {
 	// the hot path. FlushCounters folds them into the registry.
 	counts [numPathEvents]uint64
 
+	// lineageN is the wire-ID allocator for causal tracing: every
+	// packet gets a path-unique ID the first time it is sent or
+	// injected. Assignment is one compare and one increment, always on
+	// — IDs must be stable whether or not a tracer is attached, so the
+	// determinism guarantee (tracing on == tracing off) holds.
+	lineageN uint32
+
 	// ctx is the scratch Context handed to taps and processors; reusing
 	// it keeps arrive allocation-free. Processors must not retain it
 	// past their Process call (the prober copies it before scheduling).
@@ -190,6 +197,9 @@ var pathEventCounters = [numPathEvents]string{
 
 func (p *Path) trace(where string, ev int, dir Direction, pkt *packet.Packet) {
 	p.counts[ev]++
+	if ev == evSend || ev == evInject {
+		p.StampLineage(pkt)
+	}
 	// Per-hop forwarding stays out of the flight recorder, which would
 	// otherwise fill with uninteresting "fwd" lines.
 	if p.Obs != nil && ev != evFwd {
@@ -199,11 +209,24 @@ func (p *Path) trace(where string, ev int, dir Direction, pkt *packet.Packet) {
 			seq = uint32(pkt.TCP.Seq)
 			flags = pkt.TCP.Flags
 		}
-		p.Obs.Trace("netem", pathEventLabels[ev], seq, flags, where+" "+dir.String())
+		p.Obs.TracePkt("netem", pathEventLabels[ev], pkt.Lin.ID, pkt.Lin.Parent, seq, flags, where+" "+dir.String())
 	}
 	if p.Trace != nil {
 		p.Trace(TraceEvent{Time: p.Sim.Now(), Where: where, Event: pathEventLabels[ev], Dir: dir, Pkt: pkt})
 	}
+}
+
+// StampLineage assigns pkt its path-unique wire ID if it does not have
+// one yet, and returns the ID. The send/inject path calls it
+// implicitly; the strategy engine calls it early so insertion packets
+// crafted around an intercepted packet can record it as their parent
+// before it ever reaches the wire.
+func (p *Path) StampLineage(pkt *packet.Packet) uint32 {
+	if pkt.Lin.ID == 0 {
+		p.lineageN++
+		pkt.Lin.ID = p.lineageN
+	}
+	return pkt.Lin.ID
 }
 
 // FlushCounters folds the path's accumulated event counts into the
@@ -405,6 +428,7 @@ func (p *Path) arrive(idx int, dir Direction, pkt *packet.Packet) {
 // rest.
 func (p *Path) sendTimeExceeded(idx int, dir Direction, orig *packet.Packet) {
 	reply := p.Pool.TimeExceededPacket(orig, p.hopAddr(idx))
+	reply.Lin = packet.Lineage{Origin: packet.OriginRouter, Parent: orig.Lin.ID}
 	p.emit(idx, dir.Flip(), reply, 0, true)
 }
 

@@ -75,3 +75,13 @@ func (o *Obs) Trace(subsys, verb string, seq uint32, flags uint8, detail string)
 	}
 	o.rec.Record(subsys, verb, seq, flags, detail)
 }
+
+// TracePkt records one flight-recorder event keyed to the causal
+// lineage: pkt is the wire ID of the packet the event concerns, parent
+// the ID of the packet that caused it. Safe on a nil receiver.
+func (o *Obs) TracePkt(subsys, verb string, pkt, parent uint32, seq uint32, flags uint8, detail string) {
+	if o == nil {
+		return
+	}
+	o.rec.RecordPkt(subsys, verb, pkt, parent, seq, flags, detail)
+}

@@ -235,3 +235,68 @@ func BenchmarkRecord(b *testing.B) {
 		rec.Record("tcpstack", "retransmit", uint32(i), 0x10, "")
 	}
 }
+
+// TestRingSustainedEmission drives a default-size recorder far past
+// capacity: the ring must hold exactly the most recent window, the
+// totals must count every emission, and a tapped EventSink must have
+// seen the complete stream including every evicted event.
+func TestRingSustainedEmission(t *testing.T) {
+	var now time.Duration
+	rec := NewRecorder(0, func() time.Duration { return now })
+	var tapped []Event
+	rec.Tap(sinkFunc(func(e Event) { tapped = append(tapped, e) }))
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		now = time.Duration(i) * time.Microsecond
+		rec.RecordPkt("t", "v", uint32(i+1), uint32(i), uint32(i), 0, "")
+	}
+	if rec.Total() != n {
+		t.Fatalf("total = %d, want %d", rec.Total(), n)
+	}
+	if want := uint64(n - DefaultRingSize); rec.Dropped() != want {
+		t.Fatalf("dropped = %d, want %d", rec.Dropped(), want)
+	}
+	evs := rec.Events()
+	if len(evs) != DefaultRingSize {
+		t.Fatalf("retained = %d, want %d", len(evs), DefaultRingSize)
+	}
+	for i, e := range evs {
+		want := uint32(n - DefaultRingSize + i)
+		if e.Seq != want || e.Pkt != want+1 || e.Parent != want {
+			t.Fatalf("event %d = %+v, want seq %d", i, e, want)
+		}
+	}
+	if len(tapped) != n {
+		t.Fatalf("tap saw %d events, want %d", len(tapped), n)
+	}
+	for i, e := range tapped {
+		if e.Seq != uint32(i) {
+			t.Fatalf("tap event %d seq = %d", i, e.Seq)
+		}
+	}
+}
+
+// sinkFunc adapts a function to EventSink.
+type sinkFunc func(Event)
+
+func (f sinkFunc) RecordEvent(e Event) { f(e) }
+
+// TestPercentileEdgeCases pins the nearest-rank convention at the
+// degenerate sizes aggregates actually hit: empty campaigns, single
+// trials, and uniform distributions.
+func TestPercentileEdgeCases(t *testing.T) {
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := Percentile(nil, p); got != 0 {
+			t.Fatalf("empty p%v = %d, want 0", p, got)
+		}
+		if got := Percentile([]int{7}, p); got != 7 {
+			t.Fatalf("single p%v = %d, want 7", p, got)
+		}
+	}
+	equal := []int{3, 3, 3, 3, 3}
+	for _, p := range []float64{1, 50, 99} {
+		if got := Percentile(equal, p); got != 3 {
+			t.Fatalf("all-equal p%v = %d, want 3", p, got)
+		}
+	}
+}

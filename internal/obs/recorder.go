@@ -12,13 +12,19 @@ const DefaultRingSize = 512
 
 // Event is one structured flight-recorder entry. T is virtual
 // simulation time, so traces are reproducible bit-for-bit; Seq and
-// Flags carry the TCP view where the subsystem has one.
+// Flags carry the TCP view where the subsystem has one. Pkt and Parent
+// carry the causal-tracing lineage: the wire ID of the packet the
+// event concerns and of the packet that caused it (zero when the
+// emitting subsystem has no lineage to report). The struct stays
+// comparable — firstDivergence and the determinism tests rely on ==.
 type Event struct {
 	T      time.Duration `json:"t"`
 	Subsys string        `json:"subsys"`
 	Verb   string        `json:"verb"`
 	Seq    uint32        `json:"seq,omitempty"`
 	Flags  uint8         `json:"flags,omitempty"`
+	Pkt    uint32        `json:"pkt,omitempty"`
+	Parent uint32        `json:"parent,omitempty"`
 	Detail string        `json:"detail,omitempty"`
 }
 
@@ -28,10 +34,26 @@ func (e Event) String() string {
 	if e.Seq != 0 || e.Flags != 0 {
 		s += fmt.Sprintf(" seq=%d flags=%#02x", e.Seq, e.Flags)
 	}
+	switch {
+	case e.Pkt != 0 && e.Parent != 0:
+		s += fmt.Sprintf(" pkt=#%d<-#%d", e.Pkt, e.Parent)
+	case e.Pkt != 0:
+		s += fmt.Sprintf(" pkt=#%d", e.Pkt)
+	case e.Parent != 0:
+		s += fmt.Sprintf(" cause=#%d", e.Parent)
+	}
 	if e.Detail != "" {
 		s += " " + e.Detail
 	}
 	return s
+}
+
+// EventSink receives every event a Recorder records, including events
+// the bounded ring later evicts. The causal tracer taps a per-trial
+// recorder this way to retain the complete stream while the ring stays
+// fixed-size.
+type EventSink interface {
+	RecordEvent(Event)
 }
 
 // Recorder is a bounded ring buffer of trace events — the flight
@@ -46,6 +68,7 @@ type Recorder struct {
 	buf   []Event
 	next  int
 	total uint64
+	sink  EventSink
 }
 
 // NewRecorder builds a recorder holding up to size events, stamping
@@ -61,13 +84,32 @@ func NewRecorder(size int, now func() time.Duration) *Recorder {
 	return &Recorder{now: now, size: size}
 }
 
-// Record appends one event, evicting the oldest when full. Safe on a
-// nil receiver (the disabled no-op path).
-func (r *Recorder) Record(subsys, verb string, seq uint32, flags uint8, detail string) {
+// Tap installs a sink that receives every subsequently recorded event
+// before any ring eviction. Safe on a nil receiver (no-op).
+func (r *Recorder) Tap(s EventSink) {
 	if r == nil {
 		return
 	}
-	e := Event{T: r.now(), Subsys: subsys, Verb: verb, Seq: seq, Flags: flags, Detail: detail}
+	r.sink = s
+}
+
+// Record appends one event, evicting the oldest when full. Safe on a
+// nil receiver (the disabled no-op path).
+func (r *Recorder) Record(subsys, verb string, seq uint32, flags uint8, detail string) {
+	r.RecordPkt(subsys, verb, 0, 0, seq, flags, detail)
+}
+
+// RecordPkt is Record with the causal-tracing lineage attached: pkt is
+// the wire ID of the packet the event concerns, parent the ID of the
+// packet that caused it (either may be zero). Safe on a nil receiver.
+func (r *Recorder) RecordPkt(subsys, verb string, pkt, parent uint32, seq uint32, flags uint8, detail string) {
+	if r == nil {
+		return
+	}
+	e := Event{T: r.now(), Subsys: subsys, Verb: verb, Seq: seq, Flags: flags, Pkt: pkt, Parent: parent, Detail: detail}
+	if r.sink != nil {
+		r.sink.RecordEvent(e)
+	}
 	if len(r.buf) < r.size {
 		r.buf = append(r.buf, e)
 	} else {

@@ -57,6 +57,13 @@ type Packet struct {
 	// honor the actual field; this flag exists only for trace labels.
 	BadTCPChecksum bool
 
+	// Lin is the causal-tracing lineage (see lineage.go): who crafted
+	// the packet, which packet caused it, and its wire identity. The
+	// fields are stamped unconditionally by the crafting layers — plain
+	// integer/string-header stores, so the zero-allocation hot path is
+	// untouched — and only read when tracing is enabled.
+	Lin Lineage
+
 	// Pooling support: the owning pool plus inline header and buffer
 	// storage reused across incarnations (see pool.go). All zero for
 	// ordinary heap packets, whose Use*/SetPayload calls then simply
@@ -191,7 +198,7 @@ func Parse(data []byte) (*Packet, error) {
 // Clone returns a deep copy, so middleboxes and the GFW tap can mutate
 // their view without aliasing the in-flight packet.
 func (p *Packet) Clone() *Packet {
-	c := &Packet{IP: p.IP.Clone(), BadTCPChecksum: p.BadTCPChecksum}
+	c := &Packet{IP: p.IP.Clone(), BadTCPChecksum: p.BadTCPChecksum, Lin: p.Lin.child()}
 	if p.TCP != nil {
 		c.TCP = p.TCP.Clone()
 	}

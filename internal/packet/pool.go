@@ -105,6 +105,7 @@ func (p *Packet) reset() {
 	p.TCP, p.UDP, p.ICMP = nil, nil, nil
 	p.Payload = nil
 	p.BadTCPChecksum = false
+	p.Lin = Lineage{}
 	p.payloadBuf = p.payloadBuf[:0]
 	p.optBuf = p.optBuf[:0]
 	p.ipOptBuf = p.ipOptBuf[:0]
@@ -210,6 +211,7 @@ func (pl *Pool) NewUDP(src Addr, sport uint16, dst Addr, dport uint16, payload [
 func (pl *Pool) Clone(src *Packet) *Packet {
 	c := pl.Get()
 	c.IP = src.IP
+	c.Lin = src.Lin.child()
 	if len(src.IP.Options) > 0 {
 		c.ipOptBuf = append(c.ipOptBuf[:0], src.IP.Options...)
 		c.IP.Options = c.ipOptBuf

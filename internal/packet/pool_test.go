@@ -7,21 +7,29 @@ import (
 
 func TestPoolRecyclesPackets(t *testing.T) {
 	pl := NewPool()
-	p1 := pl.Get()
-	if !p1.Pooled() {
+	p := pl.Get()
+	if !p.Pooled() {
 		t.Fatal("pooled packet not marked Pooled")
 	}
-	p1.Release()
-	p2 := pl.Get()
-	if p2 != p1 {
-		t.Fatal("Get did not recycle the released packet")
+	// sync.Pool may drop a Put on the floor (it does so randomly under
+	// the race detector), so drive the Get/Release cycle until a
+	// released packet comes back instead of asserting on one round.
+	var recycled bool
+	for i := 0; i < 100 && !recycled; i++ {
+		p.Release()
+		q := pl.Get()
+		recycled = q == p
+		p = q
+	}
+	if !recycled {
+		t.Fatal("Get never recycled a released packet")
 	}
 	st := pl.Stats()
-	if st.Gets != 2 || st.Puts != 1 || st.News != 1 {
-		t.Fatalf("stats = %+v", st)
+	if st.Gets != st.Puts+1 {
+		t.Fatalf("stats = %+v, want gets = puts+1", st)
 	}
-	if st.Recycled() != 1 {
-		t.Fatalf("recycled = %d, want 1", st.Recycled())
+	if st.Recycled() < 1 {
+		t.Fatalf("recycled = %d, want >= 1", st.Recycled())
 	}
 }
 

@@ -1,7 +1,9 @@
 // Package pcap writes (and reads back) classic libpcap capture files
 // containing the simulation's raw IPv4 datagrams, so any trial can be
-// inspected in Wireshark/tcpdump. Only the original, universally
-// supported pcap format is implemented (magic 0xa1b2c3d4, LINKTYPE_RAW).
+// inspected in Wireshark/tcpdump. The original, universally supported
+// microsecond format (magic 0xa1b2c3d4, LINKTYPE_RAW) is the default;
+// a nanosecond-precision variant (magic 0xa1b23c4d) is available for
+// traces whose virtual-time deltas are finer than a microsecond.
 package pcap
 
 import (
@@ -16,6 +18,9 @@ import (
 
 const (
 	magic = 0xa1b2c3d4
+	// magicNano marks the nanosecond-resolution pcap variant: identical
+	// layout, but the record sub-second field counts nanoseconds.
+	magicNano = 0xa1b23c4d
 	// linkTypeRaw is LINKTYPE_RAW: packets begin with the IPv4 header.
 	linkTypeRaw = 101
 	versionMaj  = 2
@@ -27,10 +32,17 @@ const (
 type Writer struct {
 	w           io.Writer
 	wroteHeader bool
+	nano        bool
 }
 
-// NewWriter wraps w.
+// NewWriter wraps w, producing the classic microsecond format.
 func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// NewNanoWriter wraps w, producing the nanosecond-precision variant
+// (magic 0xa1b23c4d). Virtual time in the simulator is nanosecond-
+// granular, so this format preserves event ordering that microsecond
+// rounding can collapse.
+func NewNanoWriter(w io.Writer) *Writer { return &Writer{w: w, nano: true} }
 
 func (pw *Writer) header() error {
 	if pw.wroteHeader {
@@ -38,7 +50,11 @@ func (pw *Writer) header() error {
 	}
 	pw.wroteHeader = true
 	var hdr [24]byte
-	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	m := uint32(magic)
+	if pw.nano {
+		m = magicNano
+	}
+	binary.LittleEndian.PutUint32(hdr[0:], m)
 	binary.LittleEndian.PutUint16(hdr[4:], versionMaj)
 	binary.LittleEndian.PutUint16(hdr[6:], versionMin)
 	// thiszone, sigfigs = 0
@@ -55,7 +71,11 @@ func (pw *Writer) WriteRaw(ts time.Duration, data []byte) error {
 	}
 	var rec [16]byte
 	binary.LittleEndian.PutUint32(rec[0:], uint32(ts/time.Second))
-	binary.LittleEndian.PutUint32(rec[4:], uint32(ts%time.Second/time.Microsecond))
+	if pw.nano {
+		binary.LittleEndian.PutUint32(rec[4:], uint32(ts%time.Second))
+	} else {
+		binary.LittleEndian.PutUint32(rec[4:], uint32(ts%time.Second/time.Microsecond))
+	}
 	binary.LittleEndian.PutUint32(rec[8:], uint32(len(data)))
 	binary.LittleEndian.PutUint32(rec[12:], uint32(len(data)))
 	if _, err := pw.w.Write(rec[:]); err != nil {
@@ -96,13 +116,20 @@ type Record struct {
 	Data []byte
 }
 
-// Read parses a pcap stream written by this package.
+// Read parses a pcap stream written by this package, accepting both the
+// microsecond (0xa1b2c3d4) and nanosecond (0xa1b23c4d) magics.
 func Read(r io.Reader) ([]Record, error) {
 	var hdr [24]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("pcap: header: %w", err)
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+	var subsec time.Duration
+	switch binary.LittleEndian.Uint32(hdr[0:]) {
+	case magic:
+		subsec = time.Microsecond
+	case magicNano:
+		subsec = time.Nanosecond
+	default:
 		return nil, fmt.Errorf("pcap: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
 	}
 	if lt := binary.LittleEndian.Uint32(hdr[20:]); lt != linkTypeRaw {
@@ -118,7 +145,7 @@ func Read(r io.Reader) ([]Record, error) {
 			return nil, fmt.Errorf("pcap: record header: %w", err)
 		}
 		sec := binary.LittleEndian.Uint32(rec[0:])
-		usec := binary.LittleEndian.Uint32(rec[4:])
+		frac := binary.LittleEndian.Uint32(rec[4:])
 		n := binary.LittleEndian.Uint32(rec[8:])
 		if n > snapLen {
 			return nil, fmt.Errorf("pcap: oversized record %d", n)
@@ -128,7 +155,7 @@ func Read(r io.Reader) ([]Record, error) {
 			return nil, fmt.Errorf("pcap: record body: %w", err)
 		}
 		out = append(out, Record{
-			Time: time.Duration(sec)*time.Second + time.Duration(usec)*time.Microsecond,
+			Time: time.Duration(sec)*time.Second + time.Duration(frac)*subsec,
 			Data: data,
 		})
 	}

@@ -121,3 +121,59 @@ func TestAttachCapturesLiveTraffic(t *testing.T) {
 		}
 	}
 }
+
+func TestNanoRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewNanoWriter(&buf)
+	p := packet.NewTCP(cliAddr, 4000, srvAddr, 80, packet.FlagSYN, 100, 0, nil)
+	// Sub-microsecond deltas that the classic format would collapse.
+	stamps := []time.Duration{
+		1500*time.Millisecond + 1*time.Nanosecond,
+		1500*time.Millisecond + 999*time.Nanosecond,
+		2*time.Second + 123456789*time.Nanosecond,
+	}
+	for _, ts := range stamps {
+		if err := w.WritePacket(ts, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := binary.LittleEndian.Uint32(buf.Bytes()[0:4]); m != magicNano {
+		t.Fatalf("magic = %#x, want %#x", m, uint32(magicNano))
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(stamps) {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for i, ts := range stamps {
+		if recs[i].Time != ts {
+			t.Fatalf("record %d time = %v, want %v", i, recs[i].Time, ts)
+		}
+	}
+	if got, err := packet.Parse(recs[0].Data); err != nil || got.TCP == nil || got.TCP.Seq != 100 {
+		t.Fatalf("parse: %v %v", got, err)
+	}
+}
+
+func TestMicrosecondStaysDefault(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	p := packet.NewTCP(cliAddr, 1, srvAddr, 2, packet.FlagSYN, 1, 0, nil)
+	// A nanosecond-granular stamp is truncated to microseconds in the
+	// classic format.
+	if err := w.WritePacket(1*time.Second+1234567*time.Nanosecond, p); err != nil {
+		t.Fatal(err)
+	}
+	if m := binary.LittleEndian.Uint32(buf.Bytes()[0:4]); m != magic {
+		t.Fatalf("magic = %#x, want %#x", m, uint32(magic))
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1*time.Second + 1234*time.Microsecond; recs[0].Time != want {
+		t.Fatalf("time = %v, want %v", recs[0].Time, want)
+	}
+}

@@ -118,6 +118,14 @@ type Conn struct {
 	GotRST bool
 	// AbortReason records why the connection aborted.
 	AbortReason string
+
+	// causeID is the causal-tracing wire ID of the most recent inbound
+	// segment this connection processed. Outgoing segments record it as
+	// their lineage parent — the proximate cause of the transmission
+	// (the segment a challenge ACK answers, the request a response
+	// acknowledges). Zero for unprompted sends (the initial SYN,
+	// timer-driven retransmissions before any arrival).
+	causeID uint32
 }
 
 // State returns the connection state.
@@ -162,6 +170,12 @@ func (c *Conn) setState(s State) {
 	}
 	from := c.state
 	c.state = s
+	if c.stack.Obs != nil {
+		// State transitions are the tcpstack half of the censor-state
+		// audit: keyed to the inbound segment that drove them.
+		c.stack.Obs.TracePkt("tcpstack", "state", c.causeID, 0, 0, 0,
+			c.local.addr.String()+" "+from.String()+">"+s.String())
+	}
 	if s == TimeWait {
 		c.stack.Sim.At(c.stack.TimeWaitDuration, func() {
 			if c.state == TimeWait {
@@ -193,6 +207,7 @@ func (c *Conn) buildPacket(flags uint8, seq, ack packet.Seq, payload []byte) *pa
 	tcp.Seq, tcp.Ack, tcp.Flags = seq, ack, flags
 	tcp.Window = uint16(min(c.rcvWnd, 0xffff))
 	p.SetPayload(payload)
+	p.Lin = packet.Lineage{Origin: packet.OriginStack, Parent: c.causeID}
 	if c.tsEnabled && c.stack.Profile.UseTimestamps {
 		p.AddTimestampOption(c.tsNow(), c.tsRecent)
 	}
@@ -330,6 +345,7 @@ func (c *Conn) sendAck() {
 
 // handleSegment is the connection's receive path.
 func (c *Conn) handleSegment(pkt *packet.Packet) {
+	c.causeID = pkt.Lin.ID
 	d := Classify(c.stack.Profile, c.view(), pkt)
 	c.stack.observe(c, pkt, d)
 	switch d.Verdict {

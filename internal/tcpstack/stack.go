@@ -121,7 +121,7 @@ func (s *Stack) observe(c *Conn, pkt *packet.Packet, d Disposition) {
 			// only elicit a duplicate/challenge ACK.
 			s.Obs.Count("tcpstack.ignore-with-ack")
 		}
-		s.Obs.Trace("tcpstack", d.Reason, uint32(pkt.TCP.Seq), pkt.TCP.Flags, d.Verdict.String())
+		s.Obs.TracePkt("tcpstack", d.Reason, pkt.Lin.ID, pkt.Lin.Parent, uint32(pkt.TCP.Seq), pkt.TCP.Flags, d.Verdict.String())
 	}
 	if s.Observe != nil {
 		s.Observe(c, pkt, d)
@@ -140,7 +140,9 @@ func (s *Stack) ListenUDP(port uint16, h UDPHandler) {
 
 // SendUDP transmits a UDP datagram.
 func (s *Stack) SendUDP(srcPort uint16, dst packet.Addr, dstPort uint16, payload []byte) {
-	s.send(s.Pool.NewUDP(s.Addr, srcPort, dst, dstPort, payload))
+	p := s.Pool.NewUDP(s.Addr, srcPort, dst, dstPort, payload)
+	p.Lin.Origin = packet.OriginStack
+	s.send(p)
 }
 
 // AllocPort returns a fresh ephemeral port.
@@ -265,6 +267,7 @@ func (s *Stack) listenSegment(pkt *packet.Packet, accept Acceptor) {
 		return
 	case tcp.HasFlag(packet.FlagSYN):
 		c := s.newConn(tcp.DstPort, pkt.IP.Src, tcp.SrcPort)
+		c.causeID = pkt.Lin.ID
 		c.iss = s.chooseISS()
 		c.sndUna = c.iss
 		c.sndNxt = c.iss
@@ -285,6 +288,7 @@ func (s *Stack) listenSegment(pkt *packet.Packet, accept Acceptor) {
 func (s *Stack) respondRST(pkt *packet.Packet) {
 	tcp := pkt.TCP
 	rst := s.Pool.Get()
+	rst.Lin = packet.Lineage{Origin: packet.OriginStack, Parent: pkt.Lin.ID}
 	rst.IP = packet.IPv4Header{TTL: 64, Protocol: packet.ProtoTCP, Src: s.Addr, Dst: pkt.IP.Src}
 	h := rst.UseTCP()
 	h.SrcPort, h.DstPort = tcp.DstPort, tcp.SrcPort

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"intango/internal/obs"
+	"intango/internal/pcap"
+)
+
+// WritePcap emits the captured packets as a nanosecond-precision pcap
+// (virtual time is nanosecond-granular; microsecond rounding would
+// collapse insertion volleys into identical timestamps). The capture
+// parses back through pcap.Read.
+func (tr *Trace) WritePcap(w io.Writer) error {
+	pw := pcap.NewNanoWriter(w)
+	for _, p := range tr.Packets {
+		if err := pw.WriteRaw(p.Time, p.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonlLine is the tagged union the JSONL export emits: one meta line,
+// then every packet and event merged in time order.
+type jsonlLine struct {
+	Type   string        `json:"type"` // "meta", "packet", "event"
+	Meta   *Meta         `json:"meta,omitempty"`
+	Packet *PacketRecord `json:"packet,omitempty"`
+	Event  *obs.Event    `json:"event,omitempty"`
+}
+
+// WriteJSONL emits the trace as line-delimited JSON: a meta line
+// followed by packet and event lines merged chronologically, so the
+// file reads top-to-bottom as the trial's causal log.
+func (tr *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlLine{Type: "meta", Meta: &tr.Meta}); err != nil {
+		return err
+	}
+	pi, ei := 0, 0
+	for pi < len(tr.Packets) || ei < len(tr.Events) {
+		// Packets win ties: a packet's transmission precedes the events
+		// it causes at the same virtual instant.
+		if ei >= len(tr.Events) || (pi < len(tr.Packets) && tr.Packets[pi].Time <= tr.Events[ei].T) {
+			if err := enc.Encode(jsonlLine{Type: "packet", Packet: &tr.Packets[pi]}); err != nil {
+				return err
+			}
+			pi++
+			continue
+		}
+		if err := enc.Encode(jsonlLine{Type: "event", Event: &tr.Events[ei]}); err != nil {
+			return err
+		}
+		ei++
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto). All simulation events are instants.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds, fractional
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome emits the trace in Chrome trace-event JSON: one thread
+// lane per subsystem plus a "wire" lane for packet transmissions, so
+// the causal structure is visible on a shared time axis in
+// chrome://tracing or Perfetto.
+func (tr *Trace) WriteChrome(w io.Writer) error {
+	const wireTID = 1
+	tids := map[string]int{}
+	tidOf := func(subsys string) int {
+		if id, ok := tids[subsys]; ok {
+			return id
+		}
+		id := len(tids) + 2 // 1 is the wire lane
+		tids[subsys] = id
+		return id
+	}
+	var evs []chromeEvent
+	ts := func(t time.Duration) float64 { return float64(t.Nanoseconds()) / 1e3 }
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		args := map[string]any{
+			"id": p.ID, "origin": p.Origin, "summary": p.Summary,
+			"where": p.Where, "dir": p.Dir,
+		}
+		if p.Parent != 0 {
+			args["parent"] = p.Parent
+		}
+		if p.Crafter != "" {
+			args["crafter"] = p.Crafter
+		}
+		evs = append(evs, chromeEvent{
+			Name: p.Event + " #" + utoa(p.ID), Cat: "wire", Phase: "i",
+			TS: ts(p.Time), PID: 1, TID: wireTID, Scope: "t", Args: args,
+		})
+	}
+	for _, e := range tr.Events {
+		args := map[string]any{}
+		if e.Pkt != 0 {
+			args["pkt"] = e.Pkt
+		}
+		if e.Parent != 0 {
+			args["parent"] = e.Parent
+		}
+		if e.Detail != "" {
+			args["detail"] = e.Detail
+		}
+		if e.Seq != 0 {
+			args["seq"] = e.Seq
+		}
+		evs = append(evs, chromeEvent{
+			Name: e.Verb, Cat: e.Subsys, Phase: "i",
+			TS: ts(e.T), PID: 1, TID: tidOf(e.Subsys), Scope: "t", Args: args,
+		})
+	}
+	// Thread-name metadata rows label the lanes.
+	meta := []chromeEvent{{
+		Name: "thread_name", Phase: "M", PID: 1, TID: wireTID,
+		Args: map[string]any{"name": "wire"},
+	}}
+	names := make([]string, 0, len(tids))
+	for s := range tids {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: tids[s],
+			Args: map[string]any{"name": s},
+		})
+	}
+	return json.NewEncoder(w).Encode(append(meta, evs...))
+}
+
+// WriteBundle writes all three export formats plus the narrative into
+// dir as prefix.pcap / prefix.jsonl / prefix.trace.json / prefix.txt,
+// creating dir if needed. It returns the paths written.
+func (tr *Trace) WriteBundle(dir, prefix string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	write := func(name string, emit func(io.Writer) error) error {
+		path := filepath.Join(dir, prefix+name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		paths = append(paths, path)
+		return nil
+	}
+	if err := write(".pcap", tr.WritePcap); err != nil {
+		return nil, err
+	}
+	if err := write(".jsonl", tr.WriteJSONL); err != nil {
+		return nil, err
+	}
+	if err := write(".trace.json", tr.WriteChrome); err != nil {
+		return nil, err
+	}
+	if err := write(".txt", func(w io.Writer) error {
+		_, err := io.WriteString(w, tr.Narrative())
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return paths, nil
+}

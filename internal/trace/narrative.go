@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"intango/internal/obs"
+)
+
+// Narrative renders the trace as a human-readable account of the
+// trial: the wire packets with their lineage, the decisive censor and
+// endpoint events, and the causal chain leading to the censor's
+// reaction (when there was one). Output is deterministic for a given
+// trace — the explain golden test pins it.
+func (tr *Trace) Narrative() string {
+	var b strings.Builder
+	m := tr.Meta
+	fmt.Fprintf(&b, "trial %d", m.Trial)
+	if m.Strategy != "" {
+		fmt.Fprintf(&b, " strategy=%s", m.Strategy)
+	}
+	if m.VP != "" {
+		fmt.Fprintf(&b, " vp=%s", m.VP)
+	}
+	if m.Server != "" {
+		fmt.Fprintf(&b, " server=%s", m.Server)
+	}
+	if m.Outcome != "" {
+		fmt.Fprintf(&b, " outcome=%s", m.Outcome)
+	}
+	b.WriteString("\n\n")
+
+	b.WriteString("wire packets:\n")
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		fmt.Fprintf(&b, "  #%-3d %9.3fms %-9s %-6s %s", p.ID, ms(p.Time), p.Origin, p.Event, p.Summary)
+		if p.Parent != 0 {
+			fmt.Fprintf(&b, " <-#%d", p.Parent)
+		}
+		if p.Crafter != "" {
+			fmt.Fprintf(&b, " crafted-by=%s", p.Crafter)
+		}
+		b.WriteByte('\n')
+	}
+
+	b.WriteString("\ndecisive events:\n")
+	any := false
+	for _, e := range tr.Events {
+		if !decisive(e) {
+			continue
+		}
+		any = true
+		b.WriteString("  " + e.String() + "\n")
+	}
+	if !any {
+		b.WriteString("  (none)\n")
+	}
+
+	b.WriteString("\n" + tr.causalChain())
+	return b.String()
+}
+
+// decisive filters the event stream down to what explains an outcome:
+// everything the censor and middleboxes did, the endpoint's
+// state transitions and rejections, and the path's drops and
+// injections. Routine send/deliver traffic is elided.
+func decisive(e obs.Event) bool {
+	switch e.Subsys {
+	case "gfw", "middlebox":
+		return true
+	case "tcpstack":
+		return true // only state transitions and non-accept verdicts are recorded
+	case "netem":
+		return e.Verb == "inject" || strings.HasPrefix(e.Verb, "drop-")
+	}
+	return false
+}
+
+// causalChain walks lineage parents from the censor's last injected
+// packet back to the client packet that provoked it.
+func (tr *Trace) causalChain() string {
+	byID := make(map[uint32]*PacketRecord, len(tr.Packets))
+	for i := range tr.Packets {
+		if tr.Packets[i].ID != 0 {
+			byID[tr.Packets[i].ID] = &tr.Packets[i]
+		}
+	}
+	var last *PacketRecord
+	for i := range tr.Packets {
+		if tr.Packets[i].Origin == "gfw" {
+			last = &tr.Packets[i]
+		}
+	}
+	if last == nil {
+		return "causal chain: no censor-injected packets — the censor never reacted\n"
+	}
+	var chain []*PacketRecord
+	seen := make(map[uint32]bool)
+	for p := last; p != nil; {
+		chain = append(chain, p)
+		if p.Parent == 0 || seen[p.Parent] {
+			break
+		}
+		seen[p.Parent] = true
+		p = byID[p.Parent]
+	}
+	var b strings.Builder
+	b.WriteString("causal chain (last censor injection, provenance first):\n")
+	for i := len(chain) - 1; i >= 0; i-- {
+		p := chain[i]
+		fmt.Fprintf(&b, "  #%-3d %9.3fms %-9s %s", p.ID, ms(p.Time), p.Origin, p.Summary)
+		if p.Crafter != "" {
+			fmt.Fprintf(&b, " crafted-by=%s", p.Crafter)
+		}
+		b.WriteByte('\n')
+		if i > 0 {
+			b.WriteString("   └─ caused\n")
+		}
+	}
+	return b.String()
+}
+
+func ms(t time.Duration) float64 { return float64(t) / float64(time.Millisecond) }

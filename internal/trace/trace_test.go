@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"intango/internal/netem"
+	"intango/internal/obs"
+	"intango/internal/packet"
+	"intango/internal/pcap"
+)
+
+var (
+	cliAddr = packet.AddrFrom4(10, 0, 0, 1)
+	srvAddr = packet.AddrFrom4(203, 0, 113, 80)
+)
+
+// buildTrace assembles a small synthetic trace: a client SYN, a
+// strategy-crafted RST insertion descended from it, and a GFW reset
+// caused by the SYN, with matching recorder events.
+func buildTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr := New()
+	hook := tr.PathHook(nil)
+
+	syn := packet.NewTCP(cliAddr, 32768, srvAddr, 80, packet.FlagSYN, 100, 0, nil).Finalize()
+	syn.Lin = packet.Lineage{ID: 1, Origin: packet.OriginStack}
+	hook(netem.TraceEvent{Time: 1 * time.Millisecond, Where: "client", Event: "send", Dir: netem.ToServer, Pkt: syn})
+
+	ins := packet.NewTCP(cliAddr, 32768, srvAddr, 80, packet.FlagRST, 100, 0, nil).Finalize()
+	ins.Lin = packet.Lineage{ID: 2, Parent: 1, Origin: packet.OriginStrategy, Crafter: packet.InternCrafter("teardown(flags=rst,disc=ttl)")}
+	hook(netem.TraceEvent{Time: 2 * time.Millisecond, Where: "client", Event: "send", Dir: netem.ToServer, Pkt: ins})
+
+	rst := packet.NewTCP(srvAddr, 80, cliAddr, 32768, packet.FlagRST, 500, 0, nil).Finalize()
+	rst.Lin = packet.Lineage{ID: 3, Parent: 1, Origin: packet.OriginGFW}
+	hook(netem.TraceEvent{Time: 3 * time.Millisecond, Where: "gfw", Event: "inject", Dir: netem.ToClient, Pkt: rst})
+
+	// A forwarded event the tracer must ignore.
+	hook(netem.TraceEvent{Time: 3 * time.Millisecond, Where: "r1", Event: "fwd", Dir: netem.ToServer, Pkt: syn})
+
+	tr.RecordEvent(obs.Event{T: 1 * time.Millisecond, Subsys: "gfw", Verb: "tcb-create", Pkt: 1})
+	tr.RecordEvent(obs.Event{T: 3 * time.Millisecond, Subsys: "gfw", Verb: "detect", Pkt: 1, Detail: "keyword"})
+	tr.RecordEvent(obs.Event{T: 4 * time.Millisecond, Subsys: "netem", Verb: "deliver", Pkt: 3})
+
+	return tr.Finish(Meta{Strategy: "teardown-rst/ttl", Trial: 3, Outcome: "reset"})
+}
+
+func TestTracerCapture(t *testing.T) {
+	tr := buildTrace(t)
+	if len(tr.Packets) != 3 {
+		t.Fatalf("packets = %d, want 3 (fwd must be ignored)", len(tr.Packets))
+	}
+	if tr.Packets[1].Crafter != "teardown(flags=rst,disc=ttl)" || tr.Packets[1].Parent != 1 {
+		t.Fatalf("insertion lineage not captured: %+v", tr.Packets[1])
+	}
+	if len(tr.Events) != 3 {
+		t.Fatalf("events = %d", len(tr.Events))
+	}
+}
+
+func TestWritePcapRoundTrip(t *testing.T) {
+	tr := buildTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := pcap.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("pcap records = %d", len(recs))
+	}
+	got, err := packet.Parse(recs[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TCP == nil || !got.TCP.FlagsOnly(packet.FlagSYN) {
+		t.Fatalf("first record is not the SYN: %v", got)
+	}
+	if recs[0].Time != 1*time.Millisecond {
+		t.Fatalf("timestamp = %v", recs[0].Time)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := buildTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var types []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var line struct {
+			Type  string `json:"type"`
+			Event *struct {
+				Verb string `json:"verb"`
+			} `json:"event"`
+			Packet *struct {
+				ID      uint32 `json:"id"`
+				Crafter string `json:"crafter"`
+			} `json:"packet"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		types = append(types, line.Type)
+		if line.Type == "packet" && line.Packet.ID == 2 && line.Packet.Crafter == "" {
+			t.Fatal("insertion packet lost its crafter annotation")
+		}
+	}
+	if types[0] != "meta" {
+		t.Fatalf("first line type = %s", types[0])
+	}
+	if len(types) != 1+3+3 {
+		t.Fatalf("lines = %d, want 7", len(types))
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := buildTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatal(err)
+	}
+	var lanes, instants int
+	for _, e := range evs {
+		switch e["ph"] {
+		case "M":
+			lanes++
+		case "i":
+			instants++
+		}
+	}
+	if lanes < 2 { // wire + at least one subsystem
+		t.Fatalf("metadata lanes = %d", lanes)
+	}
+	if instants != 3+3 {
+		t.Fatalf("instant events = %d, want 6", instants)
+	}
+}
+
+func TestWriteBundle(t *testing.T) {
+	tr := buildTrace(t)
+	dir := t.TempDir()
+	paths, err := tr.WriteBundle(dir, "trial3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("bundle files = %d", len(paths))
+	}
+	for _, p := range paths {
+		if !strings.Contains(p, "trial3") {
+			t.Fatalf("bundle path %q missing prefix", p)
+		}
+	}
+}
+
+func TestNarrative(t *testing.T) {
+	tr := buildTrace(t)
+	n := tr.Narrative()
+	for _, want := range []string{
+		"trial 3 strategy=teardown-rst/ttl outcome=reset",
+		"crafted-by=teardown(flags=rst,disc=ttl)",
+		"tcb-create",
+		"causal chain",
+		"#3 ", // the GFW reset terminates the chain
+	} {
+		if !strings.Contains(n, want) {
+			t.Fatalf("narrative missing %q:\n%s", want, n)
+		}
+	}
+	// The routine netem deliver event is not decisive.
+	if strings.Contains(n, "deliver") {
+		t.Fatalf("narrative should elide deliver events:\n%s", n)
+	}
+}
