@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race bench bench-smoke bench-compare bench-obs
+.PHONY: check build fmt vet test race fuzz-smoke bench-smoke bench bench-compare bench-obs
 
-# check is the full gate: build, formatting, vet, tests, tests under
-# the race detector (the observability merge paths are the interesting
-# part), and a single-iteration pass over the hot-path benchmarks so a
-# broken benchmark can't sit unnoticed until the next `make bench`.
-check: build fmt vet test race bench-smoke
+# check is the fast gate: build, formatting, vet, tests, the topology
+# parser's fuzz seed corpus, and a single-iteration pass over the
+# hot-path benchmarks so a broken benchmark can't sit unnoticed until
+# the next `make bench`. The race detector runs as its own target (and
+# its own CI job) because it multiplies test time severalfold.
+check: build fmt vet test fuzz-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -26,6 +27,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# fuzz-smoke replays the checked-in seed corpus of the topology spec
+# parser as ordinary tests (no -fuzz: that would fuzz indefinitely).
+fuzz-smoke:
+	$(GO) test -run '^FuzzParseTopo$$' ./internal/topo
 
 # bench measures the trial hot path and the serial/parallel campaign
 # loops and writes BENCH_netem.json (ns/trial, allocs/trial, trials/sec,

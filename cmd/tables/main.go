@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		what     = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,bench,bench-compare,figures,strategies")
+		what     = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,bench,bench-compare,figures,strategies,topo")
 		scale    = flag.String("scale", "quick", "campaign scale: quick, mid, paper")
 		seed     = flag.Int64("seed", 42, "population/campaign seed")
 		benchOut = flag.String("bench-out", "BENCH_netem.json", "report path for -what bench")
@@ -263,6 +263,12 @@ func main() {
 		fmt.Println("== strategy registry: name ↔ spec ==")
 		fmt.Print(core.FormatStrategyTable())
 	}
+	// Reference dump, not a paper artifact: "-what all" skips it.
+	if *what == "topo" {
+		ran = true
+		experiment.WriteTopoSpecs(os.Stdout, r, sc)
+		fmt.Print(experiment.FormatTopoDemo(*seed))
+	}
 	if want("figures") {
 		ran = true
 		fmt.Println(experiment.Figure1(r))
@@ -271,7 +277,7 @@ func main() {
 		fmt.Println(experiment.Figure4(r))
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,bench,bench-compare,figures,strategies\n", *what)
+		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,bench,bench-compare,figures,strategies,topo\n", *what)
 		os.Exit(2)
 	}
 }

@@ -13,8 +13,10 @@ import (
 // instantiates a per-connection Strategy, applies it to outbound
 // packets, and re-sends insertion packets to survive loss.
 type Engine struct {
-	Sim   *netem.Simulator
-	Path  *netem.Path
+	Sim *netem.Simulator
+	// Net is the substrate the engine emits onto: the linear Path or
+	// the graph Fabric, behind the same interface.
+	Net   netem.Net
 	Stack *tcpstack.Stack
 	Env   Env
 
@@ -41,14 +43,14 @@ type flowState struct {
 	strat Strategy
 }
 
-// NewEngine wires an engine between stack and the client end of path.
-func NewEngine(sim *netem.Simulator, path *netem.Path, stack *tcpstack.Stack, env Env) *Engine {
+// NewEngine wires an engine between stack and the client end of n.
+func NewEngine(sim *netem.Simulator, n netem.Net, stack *tcpstack.Stack, env Env) *Engine {
 	e := &Engine{
-		Sim: sim, Path: path, Stack: stack, Env: env,
+		Sim: sim, Net: n, Stack: stack, Env: env,
 		flows: make(map[packet.FourTuple]*flowState),
 	}
 	stack.Send = e.Outbound
-	path.Client = e
+	n.SetClient(e)
 	return e
 }
 
@@ -72,7 +74,7 @@ func (e *Engine) Outbound(pkt *packet.Packet) {
 	}
 	// Assign the wire ID now, before strategies run, so insertion
 	// packets crafted from this one can record it as lineage parent.
-	e.Path.StampLineage(pkt)
+	e.Net.StampLineage(pkt)
 	tuple := pkt.Tuple()
 	fs := e.flows[tuple]
 	if fs == nil {
@@ -157,7 +159,7 @@ func (e *Engine) emit(emissions []Emission) {
 			case em.Insertion:
 				// Each wave sends its own copy; pooled clones let the
 				// path recycle them at end-of-life.
-				clone := e.Path.Pool.Clone(em.Pkt)
+				clone := e.Net.PacketPool().Clone(em.Pkt)
 				e.Sim.At(delay+em.Delay, func() { e.send(Emission{Pkt: clone, Insertion: true}) })
 			case last:
 				p := em.Pkt
@@ -171,7 +173,7 @@ func (e *Engine) send(em Emission) {
 	if e.OnOutboundRaw != nil {
 		e.OnOutboundRaw(em)
 	}
-	e.Path.SendFromClient(em.Pkt)
+	e.Net.SendFromClient(em.Pkt)
 }
 
 // Deliver implements netem.Endpoint for the client end.

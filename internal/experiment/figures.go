@@ -22,7 +22,7 @@ func Figure1(r *Runner) string {
 	rg := r.build(vp, srv, 1)
 	var b strings.Builder
 	b.WriteString("Fig. 1 — Threat model (on-path GFW between client and server):\n")
-	b.WriteString(rg.path.Describe())
+	b.WriteString(rg.net.Describe())
 	b.WriteString("\n")
 	fmt.Fprintf(&b, "GFW devices: %d on-path wiretap(s) at hop %d (read + inject, never drop)\n",
 		len(rg.devices), srv.GFWHop)
@@ -35,7 +35,7 @@ func Figure2(r *Runner) string {
 	vp := VantagePoints()[0]
 	srv := Servers(1, r.Cal, r.Seed)[0]
 	rg := r.build(vp, srv, 2)
-	it := intang.New(rg.sim, rg.path, rg.cli, intang.Options{Resolver: srv.Addr})
+	it := intang.New(rg.sim, rg.net, rg.cli, intang.Options{Resolver: srv.Addr})
 	it.Engine.Env.InsertionTTL = insertionTTL(srv)
 	appsim.ServeDNSTCP(rg.srv, appsim.Zone{})
 	var b strings.Builder
@@ -83,7 +83,7 @@ func SequenceDiagram(r *Runner, factoryName, title string) string {
 			}
 		}
 	}
-	rg.path.Trace = func(ev netem.TraceEvent) {
+	rg.net.SetTraceHook(func(ev netem.TraceEvent) {
 		if ev.Pkt.TCP == nil {
 			return
 		}
@@ -97,9 +97,9 @@ func SequenceDiagram(r *Runner, factoryName, title string) string {
 		case ev.Event == "drop-ttl":
 			fmt.Fprintf(&b, "%9.3fms      ✗ TTL expiry at %s: %s\n", ms(ev.Time), ev.Where, label(ev.Pkt))
 		}
-	}
+	})
 	env := core.DefaultEnv(insertionTTL(srv), rg.sim.Rand())
-	rg.engine = core.NewEngine(rg.sim, rg.path, rg.cli, env)
+	rg.engine = core.NewEngine(rg.sim, rg.net, rg.cli, env)
 	factory := core.BuiltinFactories()[factoryName]
 	rg.engine.NewStrategy = func(packet.FourTuple) core.Strategy { return factory() }
 	conn := fetch(rg, srv, true)

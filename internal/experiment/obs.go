@@ -78,7 +78,7 @@ func (s *ObsSink) merge(sh *ObsSink) {
 // absorb records one finished trial: the simulator's event count, the
 // outcome, the flight-recorder volume, and — on failure — the trace.
 func (s *ObsSink) absorb(rg *rig, label, vp, srv string, sensitive bool, trial int, out Outcome, rec *obs.Recorder, bundle *trace.Trace) {
-	rg.path.FlushCounters()
+	rg.net.FlushCounters()
 	s.Registry.Add("netem.events", rg.sim.Steps())
 	s.Registry.Inc("trials.total")
 	s.Registry.Inc("trials." + out.String())
@@ -99,7 +99,7 @@ func (s *ObsSink) absorb(rg *rig, label, vp, srv string, sensitive bool, trial i
 // rig, many trials. Traces are not retained (the single ring spans all
 // trials), only counters and throughput.
 func (s *ObsSink) absorbSeries(rg *rig, outcomes []Outcome) {
-	rg.path.FlushCounters()
+	rg.net.FlushCounters()
 	s.Registry.Add("netem.events", rg.sim.Steps())
 	for _, out := range outcomes {
 		s.Registry.Inc("trials.total")

@@ -6,6 +6,7 @@ import (
 
 	"intango/internal/core"
 	"intango/internal/obs"
+	"intango/internal/trace"
 )
 
 // TestObsSerialParallelDeterminism is the headline guarantee: a
@@ -71,6 +72,61 @@ func TestObsSerialParallelDeterminism(t *testing.T) {
 	if snapS.Counters["trials.total"] != uint64(obsSerial.Trials()) {
 		t.Errorf("trials.total counter %d != absorbed trials %d",
 			snapS.Counters["trials.total"], obsSerial.Trials())
+	}
+
+	// The same guarantee over a graph topology: the ECMP demo fabric
+	// (two parallel censor devices, asymmetric reverse route) replaces
+	// the derived linear paths, and serial vs parallel must still be
+	// bit-identical — rows, counters, and retained failure traces.
+	runGraph := func(workers int) ([]Table1Row, *ObsSink) {
+		r := NewRunner(42)
+		r.Workers = workers
+		r.Topo = GraphDemoTopo
+		r.Obs = NewObsSink()
+		rows := RunTable1Parallel(r, scale)
+		return rows, r.Obs
+	}
+	rowsGS, obsGS := runGraph(1)
+	rowsGP, obsGP := runGraph(8)
+	if !reflect.DeepEqual(rowsGS, rowsGP) {
+		t.Errorf("graph-topology serial/parallel rows differ:\nserial: %+v\nparallel: %+v", rowsGS, rowsGP)
+	}
+	if !reflect.DeepEqual(obsGS.Snapshot().Counters, obsGP.Snapshot().Counters) {
+		t.Errorf("graph-topology serial/parallel counters differ:\nserial: %v\nparallel: %v",
+			obsGS.Snapshot().Counters, obsGP.Snapshot().Counters)
+	}
+	if !reflect.DeepEqual(obsGS.Failures(), obsGP.Failures()) {
+		t.Errorf("graph-topology serial/parallel failure traces differ")
+	}
+	if reflect.DeepEqual(rowsGS, rowsSerial) {
+		t.Error("graph campaign produced identical rows to the linear campaign; graph arm is vacuous")
+	}
+
+	// Traced vs untraced over the graph: attaching the packet tracer
+	// (which suppresses pool recycling on the fabric) must not perturb
+	// the outcome, the flight-recorder stream, or the lineage wire IDs
+	// embedded in it.
+	rTrace := NewRunner(42)
+	rTrace.Topo = GraphDemoTopo
+	vp := VantagePoints()[0]
+	srv := Servers(1, rTrace.Cal, 42)[0]
+	f := core.BuiltinFactories()["teardown-rst/ttl"]
+	outPlain, _, recPlain := rTrace.runRig(vp, srv, f, true, 0, obs.NewRegistry(), nil)
+	tc := trace.New()
+	outTraced, _, recTraced := rTrace.runRig(vp, srv, f, true, 0, obs.NewRegistry(), tc)
+	if outPlain != outTraced {
+		t.Errorf("tracing changed graph outcome: %v vs %v", outPlain, outTraced)
+	}
+	if !reflect.DeepEqual(recPlain.Events(), recTraced.Events()) {
+		t.Errorf("tracing perturbed the graph flight-recorder stream (lineage IDs included)")
+	}
+	if len(tc.Packets) == 0 {
+		t.Fatal("tracer captured no packets on the graph topology")
+	}
+	for _, p := range tc.Packets {
+		if p.ID == 0 {
+			t.Fatalf("captured packet with unstamped lineage: %+v", p)
+		}
 	}
 }
 

@@ -12,11 +12,11 @@ import (
 	"intango/internal/core"
 	"intango/internal/gfw"
 	"intango/internal/intang"
-	"intango/internal/middlebox"
 	"intango/internal/netem"
 	"intango/internal/obs"
 	"intango/internal/packet"
 	"intango/internal/tcpstack"
+	"intango/internal/topo"
 	"intango/internal/trace"
 )
 
@@ -73,6 +73,13 @@ type Runner struct {
 	// Progress, when set, emits periodic campaign-progress snapshots
 	// during RunParallel.
 	Progress *ProgressOptions
+	// Topo, when set, is a declarative topology spec (internal/topo
+	// grammar) that replaces the linear path derived from each (vantage
+	// point, server) pair. Graph shapes — parallel censor branches,
+	// asymmetric routes — compile to a netem.Fabric; attachment
+	// references resolve through the standard rig binder (see topo.go).
+	// An invalid spec panics at the first build.
+	Topo string
 
 	progressAddr string
 
@@ -91,9 +98,16 @@ func (r *Runner) packetPool() *packet.Pool {
 	return r.pool
 }
 
-// PoolStats snapshots the shared packet pool's traffic counters (zero
-// when pooling is disabled or no trial has run).
-func (r *Runner) PoolStats() packet.PoolStats { return r.pool.Stats() }
+// PoolStats snapshots the shared packet pool's traffic counters. When
+// pooling is disabled (NoPool) or no trial has run yet, there is no
+// pool; the snapshot is explicitly zero rather than a nil-receiver
+// dereference.
+func (r *Runner) PoolStats() packet.PoolStats {
+	if r.pool == nil {
+		return packet.PoolStats{}
+	}
+	return r.pool.Stats()
+}
 
 // ProgressAddr returns the bound address of the live progress HTTP
 // endpoint once RunParallel has started it ("" when none configured).
@@ -117,21 +131,27 @@ func (r *Runner) pairSeed(vp VantagePoint, srv Server) int64 {
 // rig is one constructed trial topology.
 type rig struct {
 	sim     *netem.Simulator
-	path    *netem.Path
+	net     netem.Net
 	devices []*gfw.Device
 	cli     *tcpstack.Stack
 	srv     *tcpstack.Stack
 	engine  *core.Engine
 }
 
-// build assembles the (vp, server) path for one trial.
+// build assembles the (vp, server) substrate for one trial: derive (or
+// override) the declarative topology, fetch its cached compiled
+// Program, and instantiate it with this trial's RNGs bound through the
+// rig binder. Measured paths are linear chains and compile to the
+// allocation-free netem.Path; a graph Runner.Topo compiles to a
+// netem.Fabric.
 func (r *Runner) build(vp VantagePoint, srv Server, trialSeed int64) *rig {
 	rg := &rig{sim: netem.NewSimulator(trialSeed)}
 	trialRng := rg.sim.Rand()
 	pairRng := rand.New(rand.NewSource(r.pairSeed(vp, srv)))
 
 	// Route dynamics: the path this trial may be ±2 hops off the
-	// measured count (§3.4).
+	// measured count (§3.4). A shift below one hop clamps to a single
+	// router: the shortest path that still carries a tap.
 	hops := srv.Hops
 	if trialRng.Float64() < srv.RouteDynamicsProb {
 		if trialRng.Intn(2) == 0 {
@@ -140,62 +160,27 @@ func (r *Runner) build(vp VantagePoint, srv Server, trialSeed int64) *rig {
 			hops += 2
 		}
 	}
-
-	rg.path = &netem.Path{Sim: rg.sim, Pool: r.packetPool()}
-	for i := 0; i < hops; i++ {
-		rg.path.Hops = append(rg.path.Hops, &netem.Hop{Name: "r", Router: true, Latency: time.Millisecond})
-	}
-	rg.path.ClientLink.Latency = time.Millisecond
-	rg.path.ClientLink.LossRate = srv.LossRate
-
-	// Client-side middleboxes on the first hop.
-	if chain := middlebox.BuildProfile(vp.Profile, trialRng); chain != nil {
-		rg.path.Hops[0].Processors = append(rg.path.Hops[0].Processors, chain...)
+	if hops < 1 {
+		hops = 1
 	}
 
-	// GFW devices at the tap hop, behaviours pinned per pair.
-	gfwHop := srv.GFWHop
-	if gfwHop >= hops {
-		gfwHop = hops - 1
+	prog := r.program(vp, srv, hops)
+	binder := &rigBinder{r: r, vp: vp, rg: rg, trialRng: trialRng, pairRng: pairRng}
+	n, err := prog.Instantiate(binder, topo.Options{Sim: rg.sim, Pool: r.packetPool()})
+	if err != nil {
+		// Derived specs are valid by construction and overrides are
+		// validated at parse; a bind failure here is a programming error.
+		panic(fmt.Sprintf("experiment: instantiate topology: %v", err))
 	}
-	attach := func(model gfw.Model, name string) {
-		cfg := gfwConfig(model, r.Cal)
-		cfg.TorFiltering = vp.TorFiltered
-		if r.HardenGFW != nil {
-			r.HardenGFW(&cfg)
-		}
-		dev := gfw.NewDevice(name, cfg, trialRng)
-		dev.SetRSTResyncs(pairRng.Float64() < r.Cal.ResyncOnRSTProb)
-		dev.SetSegmentLastWins(pairRng.Float64() < r.Cal.SegmentLastWinsProb)
-		dev.SetClientSide(func(a packet.Addr) bool { return a[0] == 10 })
-		rg.path.Hops[gfwHop].Taps = append(rg.path.Hops[gfwHop].Taps, dev)
-		rg.path.Hops[gfwHop].Processors = append(rg.path.Hops[gfwHop].Processors, dev.IPFilter())
-		rg.devices = append(rg.devices, dev)
-	}
-	switch srv.Mix {
-	case OldOnly:
-		attach(gfw.ModelKhattak2013, "gfw-old")
-	case BothModels:
-		attach(gfw.ModelKhattak2013, "gfw-old")
-		attach(gfw.ModelEvolved2017, "gfw-new")
-	default:
-		attach(gfw.ModelEvolved2017, "gfw-new")
-	}
-
-	// Server-side middleboxes sit just before the server (§3.4); δ=2
-	// TTL crafting is what keeps insertion packets short of them.
-	if srv.ServerSideFirewall && hops >= 3 {
-		fw := middlebox.NewStatefulFirewall("server-side-fw", false)
-		rg.path.Hops[hops-2].Processors = append(rg.path.Hops[hops-2].Processors, fw)
-	}
+	rg.net = n
 
 	rg.cli = tcpstack.NewStack(vp.Addr, tcpstack.Linux44(), rg.sim)
 	// The engine interposes on the client end (NewEngine replaces
 	// cli.Send), so the client stack never runs AttachClient; hand it
 	// the pool directly.
-	rg.cli.Pool = rg.path.Pool
+	rg.cli.Pool = n.PacketPool()
 	rg.srv = tcpstack.NewStack(srv.Addr, srv.Stack, rg.sim)
-	rg.srv.AttachServer(rg.path)
+	rg.srv.AttachServer(n)
 	appsim.ServeHTTP(rg.srv, 80)
 	return rg
 }
@@ -235,7 +220,7 @@ func classify(rg *rig, conn *tcpstack.Conn, sensitive bool) Outcome {
 // draws randomness, so an attached rig behaves identically to a bare
 // one.
 func (rg *rig) attachObs(b *obs.Obs) {
-	rg.path.Obs = b
+	rg.net.SetObs(b)
 	for _, dev := range rg.devices {
 		dev.Obs = b
 	}
@@ -259,11 +244,11 @@ func (r *Runner) runRig(vp VantagePoint, srv Server, factory core.Factory, sensi
 		rec = obs.NewRecorder(obs.DefaultRingSize, rg.sim.Now)
 		rg.attachObs(obs.New(reg, rec))
 		if tc != nil {
-			tc.Attach(rec, rg.path)
+			tc.Attach(rec, rg.net)
 		}
 	}
 	env := core.DefaultEnv(insertionTTL(srv), rg.sim.Rand())
-	rg.engine = core.NewEngine(rg.sim, rg.path, rg.cli, env)
+	rg.engine = core.NewEngine(rg.sim, rg.net, rg.cli, env)
 	if factory != nil {
 		rg.engine.NewStrategy = func(packet.FourTuple) core.Strategy { return factory() }
 	}
@@ -346,7 +331,7 @@ func fetch(rg *rig, srv Server, sensitive bool) *tcpstack.Conn {
 // paper's methodology did (§3.3).
 func (r *Runner) RunINTANGSeries(vp VantagePoint, srv Server, trials int) []Outcome {
 	rg := r.build(vp, srv, r.pairSeed(vp, srv))
-	it := intang.New(rg.sim, rg.path, rg.cli, intang.Options{})
+	it := intang.New(rg.sim, rg.net, rg.cli, intang.Options{})
 	it.Engine.Env.InsertionTTL = insertionTTL(srv)
 	if r.Obs != nil {
 		bundle := obs.New(r.Obs.Registry, obs.NewRecorder(obs.DefaultRingSize, rg.sim.Now))

@@ -164,7 +164,7 @@ func (d *Device) processTCPDatagram(ctx *netem.Context, pkt *packet.Packet) {
 		// copy of overlapping fragment data (§3.2). The reassembler
 		// copies everything it keeps, so the clone can be a pooled one
 		// released as soon as Add returns.
-		c := ctx.Path.Pool.Clone(pkt)
+		c := ctx.Pool().Clone(pkt)
 		whole, err := d.frag.AddAt(c, ctx.Sim.Now())
 		c.Release()
 		d.countFragEvictions()

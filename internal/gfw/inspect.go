@@ -127,7 +127,7 @@ func (d *Device) enforceBlocklist(ctx *netem.Context, pkt *packet.Packet) bool {
 	if tcp.FlagsOnly(packet.FlagSYN) {
 		// Forged SYN/ACK with a wrong (random) sequence number but a
 		// correct ack, obstructing the legitimate handshake.
-		forged := ctx.Path.Pool.NewTCP(pkt.IP.Dst, tcp.DstPort, pkt.IP.Src, tcp.SrcPort,
+		forged := ctx.Pool().NewTCP(pkt.IP.Dst, tcp.DstPort, pkt.IP.Src, tcp.SrcPort,
 			packet.FlagSYN|packet.FlagACK, packet.Seq(d.rng.Uint32()), tcp.Seq.Add(1), nil)
 		forged.Lin = packet.Lineage{Origin: packet.OriginGFW, Parent: lineageOf(pkt)}
 		d.injectToward(ctx, pkt.IP.Src, forged)
@@ -157,14 +157,14 @@ func (d *Device) injectResets(ctx *netem.Context, t *tcb, type1, type2 bool, cau
 
 	if type1 {
 		// Type-1: bare RST, random TTL and window (§2.1).
-		toClient := ctx.Path.Pool.NewTCP(t.server, t.sport, t.client, t.cport, packet.FlagRST, serverSeq, 0, nil)
+		toClient := ctx.Pool().NewTCP(t.server, t.sport, t.client, t.cport, packet.FlagRST, serverSeq, 0, nil)
 		toClient.IP.TTL = uint8(40 + d.rng.Intn(200))
 		toClient.TCP.Window = uint16(d.rng.Intn(65536))
 		toClient.Finalize()
 		toClient.Lin = packet.Lineage{Origin: packet.OriginGFW, Parent: parent}
 		d.injectToward(ctx, t.client, toClient)
 
-		toServer := ctx.Path.Pool.NewTCP(t.client, t.cport, t.server, t.sport, packet.FlagRST, clientSeq, 0, nil)
+		toServer := ctx.Pool().NewTCP(t.client, t.cport, t.server, t.sport, packet.FlagRST, clientSeq, 0, nil)
 		toServer.IP.TTL = uint8(40 + d.rng.Intn(200))
 		toServer.TCP.Window = uint16(d.rng.Intn(65536))
 		toServer.Finalize()
@@ -183,7 +183,7 @@ func (d *Device) injectResets(ctx *netem.Context, t *tcb, type1, type2 bool, cau
 // toward dst, each stamped with the causing packet's lineage ID.
 func (d *Device) injectTypedResets(ctx *netem.Context, src packet.Addr, sport uint16, dst packet.Addr, dport uint16, seq, ack packet.Seq, parent uint32) {
 	for _, off := range d.cfg.ResetSeqOffsets {
-		p := ctx.Path.Pool.NewTCP(src, sport, dst, dport, packet.FlagRST|packet.FlagACK, seq.Add(off), ack, nil)
+		p := ctx.Pool().NewTCP(src, sport, dst, dport, packet.FlagRST|packet.FlagACK, seq.Add(off), ack, nil)
 		// Type-2 signature: cyclically increasing TTL and window (§2.1).
 		d.t2TTL++
 		if d.t2TTL < 40 {
@@ -239,7 +239,7 @@ func (d *Device) processUDP(ctx *netem.Context, pkt *packet.Packet) {
 	if err != nil {
 		return
 	}
-	resp := ctx.Path.Pool.NewUDP(pkt.IP.Dst, 53, pkt.IP.Src, pkt.UDP.SrcPort, payload)
+	resp := ctx.Pool().NewUDP(pkt.IP.Dst, 53, pkt.IP.Src, pkt.UDP.SrcPort, payload)
 	resp.Lin = packet.Lineage{Origin: packet.OriginGFW, Parent: lineageOf(pkt)}
 	d.injectToward(ctx, pkt.IP.Src, resp)
 	d.eventPkt("dns-poison", pkt.Tuple(), pkt, name)

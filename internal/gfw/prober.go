@@ -52,9 +52,9 @@ func (d *Device) launchActiveProbe(ctx *netem.Context, bridge packet.Addr, port 
 	// The path reuses one Context across arrivals, so copy it before
 	// capturing: by the time this fires, ctx points at a later packet's
 	// hop.
-	probeCtx := &netem.Context{Sim: ctx.Sim, Path: ctx.Path, HopIndex: ctx.HopIndex}
+	probeCtx := &netem.Context{Sim: ctx.Sim, Net: ctx.Net, HopIndex: ctx.HopIndex}
 	ctx.Sim.At(d.cfg.ActiveProbeDelay, func() {
-		syn := probeCtx.Path.Pool.NewTCP(ps.proberAddr, ps.proberPort, bridge, port, packet.FlagSYN, ps.iss, 0, nil)
+		syn := probeCtx.Pool().NewTCP(ps.proberAddr, ps.proberPort, bridge, port, packet.FlagSYN, ps.iss, 0, nil)
 		syn.Lin.Origin = packet.OriginGFW
 		d.injectToward(probeCtx, bridge, syn)
 	})
@@ -83,12 +83,12 @@ func (d *Device) proberPacket(ctx *netem.Context, pkt *packet.Packet) bool {
 		if tcp.HasFlag(packet.FlagSYN) && tcp.HasFlag(packet.FlagACK) && tcp.Ack == ps.iss.Add(1) {
 			ps.state = 1
 			// Complete the handshake and send a Tor-style hello.
-			ack := ctx.Path.Pool.NewTCP(ps.proberAddr, ps.proberPort, ps.bridge, ps.port,
+			ack := ctx.Pool().NewTCP(ps.proberAddr, ps.proberPort, ps.bridge, ps.port,
 				packet.FlagACK, ps.iss.Add(1), tcp.Seq.Add(1), nil)
 			ack.Lin = packet.Lineage{Origin: packet.OriginGFW, Parent: pkt.Lin.ID}
 			d.injectToward(ctx, ps.bridge, ack)
 			hello := torProbeHello()
-			data := ctx.Path.Pool.NewTCP(ps.proberAddr, ps.proberPort, ps.bridge, ps.port,
+			data := ctx.Pool().NewTCP(ps.proberAddr, ps.proberPort, ps.bridge, ps.port,
 				packet.FlagPSH|packet.FlagACK, ps.iss.Add(1), tcp.Seq.Add(1), hello)
 			data.Lin = packet.Lineage{Origin: packet.OriginGFW, Parent: pkt.Lin.ID}
 			d.injectToward(ctx, ps.bridge, data)

@@ -135,9 +135,9 @@ type dnsQueryCtx struct {
 	id         uint16
 }
 
-// New wires an INTANG instance between stack and the client end of
-// path.
-func New(sim *netem.Simulator, path *netem.Path, stack *tcpstack.Stack, opts Options) *INTANG {
+// New wires an INTANG instance between stack and the client end of a
+// substrate (a linear netem.Path or a graph netem.Fabric).
+func New(sim *netem.Simulator, n netem.Net, stack *tcpstack.Stack, opts Options) *INTANG {
 	opts = opts.withDefaults()
 	it := &INTANG{
 		Opts:       opts,
@@ -161,7 +161,7 @@ func New(sim *netem.Simulator, path *netem.Path, stack *tcpstack.Stack, opts Opt
 		it.byCanon[c.canon] = &it.candidates[i]
 	}
 	env := core.DefaultEnv(10, sim.Rand())
-	it.Engine = core.NewEngine(sim, path, stack, env)
+	it.Engine = core.NewEngine(sim, n, stack, env)
 	it.Engine.NewStrategy = it.newStrategy
 	it.Engine.OnInbound = it.onInbound
 	it.Engine.OnOutbound = it.onOutbound
@@ -380,7 +380,7 @@ func (it *INTANG) MeasureHops(dst packet.Addr, port uint16) {
 		probe.Finalize()
 		delay := time.Duration(ttl) * time.Millisecond
 		p := probe
-		it.sim.At(delay, func() { it.Engine.Path.SendFromClient(p) })
+		it.sim.At(delay, func() { it.Engine.Net.SendFromClient(p) })
 	}
 	it.Stats["hop-probe-sweeps"]++
 }

@@ -53,7 +53,7 @@ func (m *FragmentReassembler) Process(ctx *netem.Context, pkt *packet.Packet, di
 	}
 	// The reassembler copies everything it keeps, so the defensive clone
 	// can come from the path's pool and go straight back.
-	c := ctx.Path.Pool.Clone(pkt)
+	c := ctx.Pool().Clone(pkt)
 	whole, err := m.r.AddAt(c, ctx.Sim.Now())
 	c.Release()
 	if n := m.r.TakeEvicted(); n > 0 {

@@ -1,0 +1,515 @@
+package netem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"intango/internal/obs"
+	"intango/internal/packet"
+)
+
+// This file is the graph half of netem. A Fabric generalizes the
+// linear Path: nodes (endpoints and routers with attached taps and
+// processors) joined by directed links, each direction carrying its
+// own latency, loss, and MTU — so forward and reverse routes can
+// differ, and parallel censor devices can sit on parallel branches.
+// Routing is hop-count shortest path with equal-cost multipath:
+// where several next hops tie, a deterministic per-flow hash (seeded
+// ECMP) picks one, modeling the GFW's load-balanced device clusters.
+//
+// The Fabric implements the same Net and Carrier contracts as Path,
+// with identical event vocabulary (send/fwd/deliver/inject/drop-*),
+// counters, packet-pool recycling, and lineage stamping — so obs,
+// tracing, and `-what explain` narratives work unchanged on graph
+// topologies. Linear topologies keep compiling to Path (see
+// internal/topo), which stays allocation-free; the Fabric trades a
+// little routing arithmetic for generality.
+
+// Node is one vertex of a Fabric: an endpoint or a forwarding element
+// with the same tap/processor attachment points as a Path hop.
+type Node struct {
+	Name   string
+	Router bool // decrement TTL, verify checksums, expire packets
+	// Taps are on-path observers (the GFW wiretap): they see every
+	// packet arriving at this node before TTL processing, cannot drop,
+	// and must not mutate.
+	Taps []Processor
+	// Processors are in-path devices (middleboxes): they run after TTL
+	// processing and may mutate or Drop.
+	Processors []Processor
+}
+
+// Link carries the attributes of one direction of an edge.
+type Link struct {
+	Latency  time.Duration
+	LossRate float64
+	// MTU, when nonzero, drops datagrams whose wire size exceeds it at
+	// this link's egress (traced as "drop-mtu"). The fabric does not
+	// auto-fragment; senders must fragment deliberately.
+	MTU int
+}
+
+// linkKey identifies a directed edge.
+type linkKey struct{ from, to int }
+
+// Fabric is a graph topology bound to a simulator. Build one with
+// NewFabric/AddNode/Connect, pick the endpoints, then Finalize to
+// compute the routing tables before sending traffic.
+type Fabric struct {
+	Sim *Simulator
+	// Client and Server receive packets arriving at the endpoint nodes.
+	Client Endpoint
+	Server Endpoint
+	// Trace, when set, observes every packet event on the fabric.
+	Trace func(ev TraceEvent)
+	// Obs, when set, counts packet events and records flight-recorder
+	// entries, exactly like Path.Obs.
+	Obs *obs.Obs
+	// Pool, when set, recycles packets at end-of-life points (suppressed
+	// while Trace is attached, which retains packet pointers).
+	Pool *packet.Pool
+
+	nodes          []*Node
+	client, server int // endpoint node ids
+	links          map[linkKey]Link
+	adj            [][]int // out-neighbours, ascending node id
+	nextS          [][]int // per node: equal-cost next hops toward server
+	nextC          [][]int // per node: equal-cost next hops toward client
+	ecmpSeed       uint64
+	finalized      bool
+
+	counts   [numPathEvents]uint64
+	lineageN uint32
+	ctx      Context
+}
+
+// NewFabric returns an empty fabric bound to sim.
+func NewFabric(sim *Simulator) *Fabric {
+	return &Fabric{Sim: sim, client: -1, server: -1, links: make(map[linkKey]Link)}
+}
+
+// AddNode appends a node and returns its id.
+func (f *Fabric) AddNode(n *Node) int {
+	f.nodes = append(f.nodes, n)
+	return len(f.nodes) - 1
+}
+
+// SetClientNode and SetServerNode mark the endpoint nodes; packets
+// arriving there are handed to the Client/Server endpoints.
+func (f *Fabric) SetClientNode(id int) { f.client = id }
+func (f *Fabric) SetServerNode(id int) { f.server = id }
+
+// SetECMPSeed pins the per-flow route-selection hash. Two fabrics with
+// the same topology and seed route every flow identically.
+func (f *Fabric) SetECMPSeed(seed uint64) { f.ecmpSeed = seed }
+
+// Connect adds (or replaces) the directed link from→to.
+func (f *Fabric) Connect(from, to int, l Link) {
+	f.links[linkKey{from, to}] = l
+}
+
+// Finalize validates the graph and computes the per-destination
+// next-hop tables: a BFS from each endpoint over reversed links yields
+// hop-count distances; a node's candidate set toward an endpoint is
+// every out-neighbour strictly closer to it, in ascending node order.
+// Parallel equal-cost branches become ECMP candidate sets.
+func (f *Fabric) Finalize() error {
+	if f.client < 0 || f.client >= len(f.nodes) {
+		return fmt.Errorf("fabric: no client node")
+	}
+	if f.server < 0 || f.server >= len(f.nodes) {
+		return fmt.Errorf("fabric: no server node")
+	}
+	if f.client == f.server {
+		return fmt.Errorf("fabric: client and server are the same node")
+	}
+	n := len(f.nodes)
+	f.adj = make([][]int, n)
+	radj := make([][]int, n)
+	for k := range f.links {
+		f.adj[k.from] = append(f.adj[k.from], k.to)
+		radj[k.to] = append(radj[k.to], k.from)
+	}
+	for i := range f.adj {
+		sort.Ints(f.adj[i])
+		sort.Ints(radj[i])
+	}
+	distS := bfs(radj, f.server)
+	distC := bfs(radj, f.client)
+	if distS[f.client] < 0 {
+		return fmt.Errorf("fabric: no route from client %q to server %q",
+			f.nodes[f.client].Name, f.nodes[f.server].Name)
+	}
+	if distC[f.server] < 0 {
+		return fmt.Errorf("fabric: no route from server %q to client %q",
+			f.nodes[f.server].Name, f.nodes[f.client].Name)
+	}
+	f.nextS = nextHops(f.adj, distS)
+	f.nextC = nextHops(f.adj, distC)
+	f.finalized = true
+	return nil
+}
+
+// bfs returns hop-count distances to dst following edges of radj
+// (reversed links); -1 marks unreachable nodes.
+func bfs(radj [][]int, dst int) []int {
+	dist := make([]int, len(radj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[dst] = 0
+	queue := []int{dst}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range radj[v] {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// nextHops derives the equal-cost candidate sets from a distance map.
+func nextHops(adj [][]int, dist []int) [][]int {
+	next := make([][]int, len(adj))
+	for u := range adj {
+		if dist[u] <= 0 {
+			continue // destination itself, or unreachable
+		}
+		for _, v := range adj[u] {
+			if dist[v] == dist[u]-1 {
+				next[u] = append(next[u], v) // adj is sorted, so next is too
+			}
+		}
+	}
+	return next
+}
+
+// addrU32 orders addresses for flow canonicalization.
+func addrU32(a packet.Addr) uint32 {
+	return uint32(a[0])<<24 | uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3])
+}
+
+// flowHash folds a packet's flow identity into a 64-bit FNV-1a hash,
+// canonicalized so both directions of one flow hash identically (the
+// selection is per flow, not per packet direction).
+func (f *Fabric) flowHash(pkt *packet.Packet) uint64 {
+	a, b := pkt.IP.Src, pkt.IP.Dst
+	var pa, pb uint16
+	switch {
+	case pkt.TCP != nil:
+		pa, pb = pkt.TCP.SrcPort, pkt.TCP.DstPort
+	case pkt.UDP != nil:
+		pa, pb = pkt.UDP.SrcPort, pkt.UDP.DstPort
+	}
+	if addrU32(b) < addrU32(a) || (a == b && pb < pa) {
+		a, b = b, a
+		pa, pb = pb, pa
+	}
+	const prime = 1099511628211
+	h := uint64(14695981039346656037) ^ f.ecmpSeed
+	for _, x := range a {
+		h = (h ^ uint64(x)) * prime
+	}
+	for _, x := range b {
+		h = (h ^ uint64(x)) * prime
+	}
+	h = (h ^ uint64(pa)) * prime
+	h = (h ^ uint64(pb)) * prime
+	return h
+}
+
+// route picks the next hop leaving `from` toward the endpoint dir
+// points at, applying per-flow ECMP at branch points. It is pure:
+// emit-time and fire-time calls agree.
+func (f *Fabric) route(from int, dir Direction, pkt *packet.Packet) (int, Link) {
+	cands := f.nextS[from]
+	if dir == ToClient {
+		cands = f.nextC[from]
+	}
+	switch len(cands) {
+	case 0:
+		return -1, Link{}
+	case 1:
+		return cands[0], f.links[linkKey{from, cands[0]}]
+	}
+	// Mix the node id in so independent branch points decide
+	// independently, as separate hardware hash functions would.
+	h := f.flowHash(pkt) ^ (uint64(from) * 0x9e3779b97f4a7c15)
+	next := cands[h%uint64(len(cands))]
+	return next, f.links[linkKey{from, next}]
+}
+
+// name labels node idx in traces.
+func (f *Fabric) name(idx int) string { return f.nodes[idx].Name }
+
+// trace mirrors Path.trace: counter increment, lineage stamping at
+// transmission points, flight-recorder entry (per-hop "fwd" stays
+// out), and the optional trace hook.
+func (f *Fabric) trace(where string, ev int, dir Direction, pkt *packet.Packet) {
+	f.counts[ev]++
+	if ev == evSend || ev == evInject {
+		f.StampLineage(pkt)
+	}
+	if f.Obs != nil && ev != evFwd {
+		var seq uint32
+		var flags uint8
+		if pkt.TCP != nil {
+			seq = uint32(pkt.TCP.Seq)
+			flags = pkt.TCP.Flags
+		}
+		f.Obs.TracePkt("netem", pathEventLabels[ev], pkt.Lin.ID, pkt.Lin.Parent, seq, flags, where+" "+dir.String())
+	}
+	if f.Trace != nil {
+		f.Trace(TraceEvent{Time: f.Sim.Now(), Where: where, Event: pathEventLabels[ev], Dir: dir, Pkt: pkt})
+	}
+}
+
+// release recycles a pool-owned packet at an end-of-life point, unless
+// a trace hook (which retains packet pointers) is attached.
+func (f *Fabric) release(pkt *packet.Packet) {
+	if f.Trace == nil {
+		pkt.Release()
+	}
+}
+
+// SendFromClient transmits pkt from the client endpoint node.
+func (f *Fabric) SendFromClient(pkt *packet.Packet) {
+	f.trace(f.name(f.client), evSend, ToServer, pkt)
+	f.emitFrom(f.client, ToServer, pkt, 0, false)
+}
+
+// SendFromServer transmits pkt from the server endpoint node.
+func (f *Fabric) SendFromServer(pkt *packet.Packet) {
+	f.trace(f.name(f.server), evSend, ToClient, pkt)
+	f.emitFrom(f.server, ToClient, pkt, 0, false)
+}
+
+// emitFrom schedules pkt's crossing of the link leaving `from` toward
+// dir's endpoint. inject marks mid-path injections.
+func (f *Fabric) emitFrom(from int, dir Direction, pkt *packet.Packet, extraDelay time.Duration, inject bool) {
+	if inject {
+		f.trace(f.name(from), evInject, dir, pkt)
+	}
+	next, l := f.route(from, dir, pkt)
+	if next < 0 {
+		// No route onward (a dead-end node injecting the wrong way);
+		// the packet silently expires here.
+		f.trace(f.name(from), evDropProc, dir, pkt)
+		f.release(pkt)
+		return
+	}
+	if l.MTU > 0 && wireSize(pkt) > l.MTU {
+		f.trace(f.name(from), evDropMTU, dir, pkt)
+		f.release(pkt)
+		return
+	}
+	f.Sim.AtPacket(extraDelay+l.Latency, f, pkt, from, dir)
+}
+
+// HandlePacket implements PacketHandler: pkt finished crossing the
+// link leaving `from`. The next hop is recomputed (route is pure) and
+// loss is drawn at fire time, matching Path's draw discipline.
+func (f *Fabric) HandlePacket(pkt *packet.Packet, from int, dir Direction) {
+	next, l := f.route(from, dir, pkt)
+	if l.LossRate > 0 && f.Sim.Rand().Float64() < l.LossRate {
+		f.trace(f.name(next), evDropLoss, dir, pkt)
+		f.release(pkt)
+		return
+	}
+	f.arriveAt(next, dir, pkt)
+}
+
+// arriveAt processes pkt at node idx: deliver at the target endpoint,
+// else taps → router TTL handling → in-path processors → forward.
+func (f *Fabric) arriveAt(idx int, dir Direction, pkt *packet.Packet) {
+	if (idx == f.client && dir == ToClient) || (idx == f.server && dir == ToServer) {
+		f.trace(f.name(idx), evDeliver, dir, pkt)
+		if idx == f.client {
+			if f.Client != nil {
+				f.Client.Deliver(pkt)
+			}
+		} else if f.Server != nil {
+			f.Server.Deliver(pkt)
+		}
+		f.release(pkt)
+		return
+	}
+	node := f.nodes[idx]
+	f.ctx.Sim, f.ctx.Net, f.ctx.HopIndex = f.Sim, f, idx
+	ctx := &f.ctx
+	for _, tap := range node.Taps {
+		tap.Process(ctx, pkt, dir)
+	}
+	if node.Router {
+		if !pkt.IP.VerifyChecksum() {
+			f.trace(node.Name, evDropIPck, dir, pkt)
+			f.release(pkt)
+			return
+		}
+		if len(pkt.IP.Options) > 0 {
+			f.trace(node.Name, evDropIPOpt, dir, pkt)
+			f.release(pkt)
+			return
+		}
+		if pkt.IP.TTL <= 1 {
+			f.trace(node.Name, evDropTTL, dir, pkt)
+			f.sendTimeExceeded(idx, dir, pkt)
+			f.release(pkt)
+			return
+		}
+		pkt.IP.DecrementTTL()
+	}
+	for _, proc := range node.Processors {
+		if proc.Process(ctx, pkt, dir) == Drop {
+			if f.Obs != nil {
+				f.Obs.Count("middlebox.drop." + proc.Name())
+				f.Obs.Count("middlebox.drop-kind." + pktKind(pkt))
+			}
+			f.trace(node.Name, evDropProc, dir, pkt)
+			f.release(pkt)
+			return
+		}
+	}
+	f.trace(node.Name, evFwd, dir, pkt)
+	f.emitFrom(idx, dir, pkt, 0, false)
+}
+
+// sendTimeExceeded emits an ICMP Time-Exceeded from node idx back
+// toward the packet's source.
+func (f *Fabric) sendTimeExceeded(idx int, dir Direction, orig *packet.Packet) {
+	reply := f.Pool.TimeExceededPacket(orig, f.nodeAddr(idx))
+	reply.Lin = packet.Lineage{Origin: packet.OriginRouter, Parent: orig.Lin.ID}
+	f.emitFrom(idx, dir.Flip(), reply, 0, true)
+}
+
+// nodeAddr synthesizes a stable router address for node idx.
+func (f *Fabric) nodeAddr(idx int) packet.Addr {
+	return packet.AddrFrom4(10, 254, byte(idx>>8), byte(idx))
+}
+
+// StampLineage implements Net; IDs are fabric-unique and assigned the
+// first time a packet is sent or injected, traced or not.
+func (f *Fabric) StampLineage(pkt *packet.Packet) uint32 {
+	if pkt.Lin.ID == 0 {
+		f.lineageN++
+		pkt.Lin.ID = f.lineageN
+	}
+	return pkt.Lin.ID
+}
+
+// FlushCounters implements Net.
+func (f *Fabric) FlushCounters() {
+	if f.Obs == nil {
+		return
+	}
+	reg := f.Obs.Registry()
+	for ev, n := range f.counts {
+		reg.Add(pathEventCounters[ev], n)
+		f.counts[ev] = 0
+	}
+}
+
+// Carrier implementation.
+func (f *Fabric) injectFrom(from int, dir Direction, pkt *packet.Packet, delay time.Duration) {
+	f.emitFrom(from, dir, pkt, delay, true)
+}
+func (f *Fabric) pool() *packet.Pool  { return f.Pool }
+func (f *Fabric) obsBundle() *obs.Obs { return f.Obs }
+
+// Net implementation (field accessors).
+func (f *Fabric) PacketPool() *packet.Pool         { return f.Pool }
+func (f *Fabric) SetClient(ep Endpoint)            { f.Client = ep }
+func (f *Fabric) SetServer(ep Endpoint)            { f.Server = ep }
+func (f *Fabric) SetObs(b *obs.Obs)                { f.Obs = b }
+func (f *Fabric) TraceHook() func(ev TraceEvent)   { return f.Trace }
+func (f *Fabric) SetTraceHook(fn func(TraceEvent)) { f.Trace = fn }
+
+// ForwardRoute resolves the node names a packet of pkt's flow
+// traverses client→server under the current ECMP tables — the
+// introspection `-what topo`'s demo and the determinism tests use.
+func (f *Fabric) ForwardRoute(pkt *packet.Packet) []string {
+	var names []string
+	at := f.client
+	names = append(names, f.name(at))
+	for at != f.server {
+		next, _ := f.route(at, ToServer, pkt)
+		if next < 0 {
+			return names
+		}
+		names = append(names, f.name(next))
+		at = next
+	}
+	return names
+}
+
+// ReverseRoute is ForwardRoute for server→client travel.
+func (f *Fabric) ReverseRoute(pkt *packet.Packet) []string {
+	var names []string
+	at := f.server
+	names = append(names, f.name(at))
+	for at != f.client {
+		next, _ := f.route(at, ToClient, pkt)
+		if next < 0 {
+			return names
+		}
+		names = append(names, f.name(next))
+		at = next
+	}
+	return names
+}
+
+// Describe renders the fabric: nodes with attachments in id order,
+// then links with their attributes, sorted.
+func (f *Fabric) Describe() string {
+	var b strings.Builder
+	b.WriteString("fabric:")
+	for i, n := range f.nodes {
+		b.WriteString(" ")
+		b.WriteString(n.Name)
+		switch i {
+		case f.client:
+			b.WriteString("<client>")
+		case f.server:
+			b.WriteString("<server>")
+		}
+		var names []string
+		for _, tap := range n.Taps {
+			names = append(names, "tap:"+tap.Name())
+		}
+		for _, proc := range n.Processors {
+			names = append(names, proc.Name())
+		}
+		if len(names) > 0 {
+			fmt.Fprintf(&b, "[%s]", strings.Join(names, ","))
+		}
+	}
+	keys := make([]linkKey, 0, len(f.links))
+	for k := range f.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	b.WriteString(" |")
+	for _, k := range keys {
+		l := f.links[k]
+		fmt.Fprintf(&b, " %s>%s(%s", f.name(k.from), f.name(k.to), l.Latency)
+		if l.LossRate > 0 {
+			fmt.Fprintf(&b, ",loss=%g", l.LossRate)
+		}
+		if l.MTU > 0 {
+			fmt.Fprintf(&b, ",mtu=%d", l.MTU)
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}

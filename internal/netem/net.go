@@ -1,0 +1,53 @@
+package netem
+
+import (
+	"time"
+
+	"intango/internal/obs"
+	"intango/internal/packet"
+)
+
+// Net is the transport substrate a trial runs over. Two shapes
+// implement it: the linear Path (the compiled fast path: one chain of
+// hops, allocation-free in steady state) and the graph Fabric
+// (arbitrary nodes and directed links, per-flow ECMP route selection).
+// Everything above netem — the TCP stacks, the strategy engine, the
+// tracer, the experiment runner — holds a Net, so a trial can swap a
+// linear rig for a graph one without touching experiment code.
+type Net interface {
+	// SendFromClient transmits pkt from the client end.
+	SendFromClient(pkt *packet.Packet)
+	// SendFromServer transmits pkt from the server end.
+	SendFromServer(pkt *packet.Packet)
+	// StampLineage assigns pkt its net-unique wire ID if it does not
+	// have one yet, and returns the ID.
+	StampLineage(pkt *packet.Packet) uint32
+	// PacketPool returns the substrate's packet pool (nil when pooling
+	// is disabled).
+	PacketPool() *packet.Pool
+	// SetClient and SetServer wire the endpoints.
+	SetClient(ep Endpoint)
+	SetServer(ep Endpoint)
+	// SetObs attaches (or detaches, with nil) the observability bundle.
+	SetObs(b *obs.Obs)
+	// TraceHook and SetTraceHook expose the packet-event hook so a
+	// tracer can chain itself in front of an existing observer.
+	TraceHook() func(ev TraceEvent)
+	SetTraceHook(fn func(ev TraceEvent))
+	// FlushCounters folds accumulated per-event totals into the
+	// attached observability registry; a no-op without one.
+	FlushCounters()
+	// Describe renders the topology as a one-line ASCII diagram.
+	Describe() string
+}
+
+// Carrier is the netem substrate a Context points back into. Both Path
+// and Fabric implement it; processors reach injection, pooling, and
+// observability through the Context accessors without knowing which
+// topology shape they are attached to. The methods are unexported on
+// purpose: only netem's own substrates can carry processors.
+type Carrier interface {
+	injectFrom(from int, dir Direction, pkt *packet.Packet, delay time.Duration)
+	pool() *packet.Pool
+	obsBundle() *obs.Obs
+}

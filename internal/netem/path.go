@@ -146,11 +146,13 @@ func (e TraceEvent) String() string {
 }
 
 // Context gives processors access to simulation services and the
-// ability to inject packets from their own position.
+// ability to inject packets from their own position. It is agnostic to
+// the substrate shape: Net is the Path or Fabric the hop belongs to.
 type Context struct {
-	Sim  *Simulator
-	Path *Path
-	// HopIndex is the position of the processor's hop.
+	Sim *Simulator
+	Net Carrier
+	// HopIndex is the position of the processor's element: a hop index
+	// on a Path, a node id on a Fabric.
 	HopIndex int
 }
 
@@ -158,15 +160,51 @@ type Context struct {
 // uses it to fire forged RSTs; reassembling middleboxes use it to emit
 // rebuilt datagrams.
 func (c *Context) Inject(dir Direction, pkt *packet.Packet, delay time.Duration) {
-	c.Path.emit(c.HopIndex, dir, pkt, delay, true)
+	c.Net.injectFrom(c.HopIndex, dir, pkt, delay)
 }
 
-// Obs returns the path's observability bundle (nil when disabled), so
-// processors can count and trace their own decisions.
-func (c *Context) Obs() *obs.Obs { return c.Path.Obs }
+// Obs returns the substrate's observability bundle (nil when
+// disabled), so processors can count and trace their own decisions.
+func (c *Context) Obs() *obs.Obs { return c.Net.obsBundle() }
+
+// Pool returns the substrate's packet pool (nil when pooling is
+// disabled; all pool constructors fall back to the heap on nil).
+func (c *Context) Pool() *packet.Pool { return c.Net.pool() }
 
 // element indices: -1 = client, 0..len(hops)-1 = hops, len(hops) = server.
 func (p *Path) serverIndex() int { return len(p.Hops) }
+
+// Path implements Net and Carrier: it is the compiled linear special
+// case of a topology, and the only shape the pre-fabric simulator knew.
+
+// injectFrom implements Carrier for Context.Inject.
+func (p *Path) injectFrom(from int, dir Direction, pkt *packet.Packet, delay time.Duration) {
+	p.emit(from, dir, pkt, delay, true)
+}
+
+// pool implements Carrier.
+func (p *Path) pool() *packet.Pool { return p.Pool }
+
+// obsBundle implements Carrier.
+func (p *Path) obsBundle() *obs.Obs { return p.Obs }
+
+// PacketPool implements Net.
+func (p *Path) PacketPool() *packet.Pool { return p.Pool }
+
+// SetClient implements Net.
+func (p *Path) SetClient(ep Endpoint) { p.Client = ep }
+
+// SetServer implements Net.
+func (p *Path) SetServer(ep Endpoint) { p.Server = ep }
+
+// SetObs implements Net.
+func (p *Path) SetObs(b *obs.Obs) { p.Obs = b }
+
+// TraceHook implements Net.
+func (p *Path) TraceHook() func(ev TraceEvent) { return p.Trace }
+
+// SetTraceHook implements Net.
+func (p *Path) SetTraceHook(fn func(ev TraceEvent)) { p.Trace = fn }
 
 // Path event indices for the hot-path counters.
 const (
@@ -376,7 +414,7 @@ func (p *Path) arrive(idx int, dir Direction, pkt *packet.Packet) {
 		return
 	}
 	hop := p.Hops[idx]
-	p.ctx.Sim, p.ctx.Path, p.ctx.HopIndex = p.Sim, p, idx
+	p.ctx.Sim, p.ctx.Net, p.ctx.HopIndex = p.Sim, p, idx
 	ctx := &p.ctx
 	for _, tap := range hop.Taps {
 		tap.Process(ctx, pkt, dir)

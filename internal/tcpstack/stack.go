@@ -93,18 +93,19 @@ func NewStack(addr packet.Addr, profile Profile, sim *netem.Simulator) *Stack {
 	}
 }
 
-// AttachClient wires the stack to the client end of a path.
-func (s *Stack) AttachClient(p *netem.Path) {
-	p.Client = s
-	s.Send = p.SendFromClient
-	s.Pool = p.Pool
+// AttachClient wires the stack to the client end of a substrate (a
+// linear netem.Path or a graph netem.Fabric).
+func (s *Stack) AttachClient(n netem.Net) {
+	n.SetClient(s)
+	s.Send = n.SendFromClient
+	s.Pool = n.PacketPool()
 }
 
-// AttachServer wires the stack to the server end of a path.
-func (s *Stack) AttachServer(p *netem.Path) {
-	p.Server = s
-	s.Send = p.SendFromServer
-	s.Pool = p.Pool
+// AttachServer wires the stack to the server end of a substrate.
+func (s *Stack) AttachServer(n netem.Net) {
+	n.SetServer(s)
+	s.Send = n.SendFromServer
+	s.Pool = n.PacketPool()
 }
 
 func (s *Stack) send(pkt *packet.Packet) {

@@ -1,0 +1,332 @@
+package topo
+
+import (
+	"fmt"
+
+	"intango/internal/netem"
+	"intango/internal/packet"
+)
+
+// Binder resolves a spec's symbolic attachment references ("gfw-new",
+// "client-mbox") into live netem processors at compile time. Bind is
+// called once per attachment, nodes in declaration order and
+// attachments in declaration order — so a binder that constructs
+// stateful devices (whose constructors draw from a trial PRNG) sees a
+// deterministic call sequence. The returned slice is not retained;
+// binders may reuse a scratch slice across calls.
+type Binder interface {
+	Bind(ref string, tap bool) ([]netem.Processor, error)
+}
+
+// BindMap is the simple Binder: a map from reference to processor
+// chain. Missing references are errors.
+type BindMap map[string][]netem.Processor
+
+// Bind implements Binder.
+func (m BindMap) Bind(ref string, tap bool) ([]netem.Processor, error) {
+	procs, ok := m[ref]
+	if !ok {
+		return nil, fmt.Errorf("topo: unbound ref %q", ref)
+	}
+	return procs, nil
+}
+
+// Options carries the runtime pieces a compiled topology binds to.
+type Options struct {
+	Sim *netem.Simulator
+	// Pool, when set, recycles packets at end-of-life points.
+	Pool *packet.Pool
+}
+
+// edge identifies a directed link by node index.
+type edge struct{ from, to int }
+
+// Program is a validated, routing-planned topology ready to
+// instantiate. Validation and linearity detection happen once in
+// NewProgram; Instantiate is cheap and allocation-disciplined, so rigs
+// cache Programs per topology shape and stamp out one substrate per
+// trial.
+type Program struct {
+	spec  Spec
+	index map[string]int
+	links map[edge]LinkSpec
+	// chain is the node order client..server when the topology is a
+	// symmetric linear chain (the netem.Path fast case); nil for graphs.
+	chain []int
+}
+
+// Compile is NewProgram + Instantiate for one-shot use.
+func Compile(spec Spec, b Binder, opts Options) (netem.Net, error) {
+	p, err := NewProgram(spec)
+	if err != nil {
+		return nil, err
+	}
+	return p.Instantiate(b, opts)
+}
+
+// NewProgram validates spec and plans its compilation: a symmetric
+// linear chain compiles to the allocation-free netem.Path; anything
+// else — parallel branches, asymmetric routes, per-direction
+// attributes, mid-path MTUs — compiles to a netem.Fabric.
+func NewProgram(spec Spec) (*Program, error) {
+	p := &Program{
+		spec:  spec,
+		index: make(map[string]int, len(spec.Nodes)),
+		links: make(map[edge]LinkSpec, len(spec.Links)),
+	}
+	client, server := -1, -1
+	for i, n := range spec.Nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("topo: node %d: empty name", i)
+		}
+		if _, dup := p.index[n.Name]; dup {
+			return nil, fmt.Errorf("topo: duplicate node %q", n.Name)
+		}
+		p.index[n.Name] = i
+		switch n.Kind {
+		case KindClient:
+			if client >= 0 {
+				return nil, fmt.Errorf("topo: multiple client nodes (%q and %q)", spec.Nodes[client].Name, n.Name)
+			}
+			client = i
+		case KindServer:
+			if server >= 0 {
+				return nil, fmt.Errorf("topo: multiple server nodes (%q and %q)", spec.Nodes[server].Name, n.Name)
+			}
+			server = i
+		}
+		if (n.Kind == KindClient || n.Kind == KindServer) && len(n.Attach) > 0 {
+			return nil, fmt.Errorf("topo: node %q: endpoints cannot carry taps or processors", n.Name)
+		}
+	}
+	if client < 0 {
+		return nil, fmt.Errorf("topo: no client node")
+	}
+	if server < 0 {
+		return nil, fmt.Errorf("topo: no server node")
+	}
+	for _, l := range spec.Links {
+		from, ok := p.index[l.From]
+		if !ok {
+			return nil, fmt.Errorf("topo: link %s>%s: unknown node %q", l.From, l.To, l.From)
+		}
+		to, ok := p.index[l.To]
+		if !ok {
+			return nil, fmt.Errorf("topo: link %s>%s: unknown node %q", l.From, l.To, l.To)
+		}
+		if from == to {
+			return nil, fmt.Errorf("topo: link %s>%s: self-link", l.From, l.To)
+		}
+		k := edge{from, to}
+		if _, dup := p.links[k]; dup {
+			return nil, fmt.Errorf("topo: duplicate link %s>%s", l.From, l.To)
+		}
+		if l.Latency < 0 {
+			return nil, fmt.Errorf("topo: link %s>%s: negative latency", l.From, l.To)
+		}
+		if l.Loss < 0 || l.Loss >= 1 {
+			return nil, fmt.Errorf("topo: link %s>%s: loss %g outside [0,1)", l.From, l.To, l.Loss)
+		}
+		if l.MTU < 0 {
+			return nil, fmt.Errorf("topo: link %s>%s: negative mtu", l.From, l.To)
+		}
+		p.links[k] = l
+	}
+	if err := p.checkReachable(client, server); err != nil {
+		return nil, err
+	}
+	p.chain = p.linearChain(client, server)
+	return p, nil
+}
+
+// checkReachable verifies both endpoints can reach each other over the
+// directed links.
+func (p *Program) checkReachable(client, server int) error {
+	n := len(p.spec.Nodes)
+	adj := make([][]int, n)
+	for k := range p.links {
+		adj[k.from] = append(adj[k.from], k.to)
+	}
+	reach := func(src, dst int) bool {
+		seen := make([]bool, n)
+		seen[src] = true
+		queue := []int{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if v == dst {
+				return true
+			}
+			for _, u := range adj[v] {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		return false
+	}
+	if !reach(client, server) {
+		return fmt.Errorf("topo: no route from client %q to server %q",
+			p.spec.Nodes[client].Name, p.spec.Nodes[server].Name)
+	}
+	if !reach(server, client) {
+		return fmt.Errorf("topo: no route from server %q to client %q",
+			p.spec.Nodes[server].Name, p.spec.Nodes[client].Name)
+	}
+	return nil
+}
+
+// linearChain returns the client..server node order when the topology
+// is the netem.Path shape — a single chain whose every edge has both
+// directions with equal latency and loss, and whose only MTU (if any)
+// sits on the client→first-hop link, the one place Path enforces it.
+// Returns nil for every other shape.
+func (p *Program) linearChain(client, server int) []int {
+	n := len(p.spec.Nodes)
+	// A chain of n nodes has exactly n-1 undirected edges, each present
+	// in both directions.
+	if len(p.links) != 2*(n-1) {
+		return nil
+	}
+	und := make([][]int, n)
+	for k := range p.links {
+		if _, ok := p.links[edge{k.to, k.from}]; !ok {
+			return nil // one-way link: asymmetric, not a Path
+		}
+		if k.from < k.to { // count each undirected edge once
+			und[k.from] = append(und[k.from], k.to)
+			und[k.to] = append(und[k.to], k.from)
+		}
+	}
+	chain := make([]int, 0, n)
+	prev, at := -1, client
+	for {
+		chain = append(chain, at)
+		if at == server {
+			break
+		}
+		var next []int
+		for _, v := range und[at] {
+			if v != prev {
+				next = append(next, v)
+			}
+		}
+		if len(next) != 1 {
+			return nil // branch or dead end
+		}
+		prev, at = at, next[0]
+	}
+	if len(chain) != n {
+		return nil // nodes off the chain
+	}
+	for i := 0; i+1 < len(chain); i++ {
+		fw := p.links[edge{chain[i], chain[i+1]}]
+		rv := p.links[edge{chain[i+1], chain[i]}]
+		if fw.Latency != rv.Latency || fw.Loss != rv.Loss {
+			return nil // Path links are symmetric
+		}
+		if rv.MTU != 0 || (fw.MTU != 0 && i != 0) {
+			return nil // Path enforces MTU only on client egress
+		}
+	}
+	return chain
+}
+
+// Spec returns the program's spec (shared, not copied).
+func (p *Program) Spec() Spec { return p.spec }
+
+// Linear reports whether the program compiles to a netem.Path.
+func (p *Program) Linear() bool { return p.chain != nil }
+
+// display is a node's trace label: Label when set, else Name.
+func display(n NodeSpec) string {
+	if n.Label != "" {
+		return n.Label
+	}
+	return n.Name
+}
+
+// bindInto resolves a node's attachments through b, appending taps and
+// processors in attachment order.
+func bindInto(b Binder, name string, attach []Attachment, taps, procs *[]netem.Processor) error {
+	for _, a := range attach {
+		if b == nil {
+			return fmt.Errorf("topo: node %q: no binder for ref %q", name, a.Ref)
+		}
+		chain, err := b.Bind(a.Ref, a.Tap)
+		if err != nil {
+			return fmt.Errorf("topo: node %q: %w", name, err)
+		}
+		if a.Tap {
+			*taps = append(*taps, chain...)
+		} else {
+			*procs = append(*procs, chain...)
+		}
+	}
+	return nil
+}
+
+// Instantiate builds the substrate: a *netem.Path for linear programs,
+// a finalized *netem.Fabric otherwise. Binder calls happen nodes in
+// declaration order, attachments in declaration order, on both shapes.
+func (p *Program) Instantiate(b Binder, opts Options) (netem.Net, error) {
+	if p.chain != nil {
+		return p.instantiatePath(b, opts)
+	}
+	return p.instantiateFabric(b, opts)
+}
+
+// instantiatePath compiles the chain onto the linear fast path. Hops
+// are appended one at a time so the allocation profile matches the
+// hand-built rigs the benchmarks baselined.
+func (p *Program) instantiatePath(b Binder, opts Options) (netem.Net, error) {
+	path := &netem.Path{Sim: opts.Sim, Pool: opts.Pool}
+	cl := p.links[edge{p.chain[0], p.chain[1]}]
+	path.ClientLink.Latency = cl.Latency
+	path.ClientLink.LossRate = cl.Loss
+	path.MTU = cl.MTU
+	for i := 1; i+1 < len(p.chain); i++ {
+		n := p.spec.Nodes[p.chain[i]]
+		fw := p.links[edge{p.chain[i], p.chain[i+1]}]
+		hop := &netem.Hop{
+			Name:     display(n),
+			Router:   n.Kind == KindRouter,
+			Latency:  fw.Latency,
+			LossRate: fw.Loss,
+		}
+		if err := bindInto(b, n.Name, n.Attach, &hop.Taps, &hop.Processors); err != nil {
+			return nil, err
+		}
+		path.Hops = append(path.Hops, hop)
+	}
+	return path, nil
+}
+
+// instantiateFabric compiles the general graph case.
+func (p *Program) instantiateFabric(b Binder, opts Options) (netem.Net, error) {
+	f := netem.NewFabric(opts.Sim)
+	f.Pool = opts.Pool
+	f.SetECMPSeed(p.spec.ECMPSeed)
+	for _, n := range p.spec.Nodes {
+		node := &netem.Node{Name: display(n), Router: n.Kind == KindRouter}
+		if err := bindInto(b, n.Name, n.Attach, &node.Taps, &node.Processors); err != nil {
+			return nil, err
+		}
+		id := f.AddNode(node)
+		switch n.Kind {
+		case KindClient:
+			f.SetClientNode(id)
+		case KindServer:
+			f.SetServerNode(id)
+		}
+	}
+	for _, l := range p.spec.Links {
+		f.Connect(p.index[l.From], p.index[l.To],
+			netem.Link{Latency: l.Latency, LossRate: l.Loss, MTU: l.MTU})
+	}
+	if err := f.Finalize(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

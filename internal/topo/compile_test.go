@@ -1,0 +1,238 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"intango/internal/netem"
+	"intango/internal/packet"
+)
+
+// stubProc is a named no-op processor for binding tests.
+type stubProc struct{ name string }
+
+func (s stubProc) Name() string { return s.name }
+func (s stubProc) Process(ctx *netem.Context, pkt *packet.Packet, dir netem.Direction) netem.Verdict {
+	return netem.Pass
+}
+
+// linearSpec is the canonical 2-hop chain the measurement rigs use:
+// client — r0 — r1 — server, symmetric links, tap+middlebox on r0.
+const linearSpec = "node:c(client) node:r0(router,label=r,tap=wiretap,proc=mbox) node:r1(router,label=r) node:s(server) " +
+	"link:c>r0(lat=10ms,loss=0.006,mtu=1500) link:r0>c(lat=10ms,loss=0.006) " +
+	"link:r0>r1(lat=1ms) link:r1>r0(lat=1ms) " +
+	"link:r1>s(lat=1ms) link:s>r1(lat=1ms)"
+
+// ecmpSpec has two parallel censor branches and an asymmetric reverse
+// route — the fabric-only shape.
+const ecmpSpec = "node:c(client) node:a(router) node:b1(router,tap=wiretap) node:b2(router,tap=wiretap) " +
+	"node:x(router) node:rr(router) node:s(server) " +
+	"link:c>a(lat=5ms) link:a>b1(lat=2ms) link:a>b2(lat=2ms) " +
+	"link:b1>x(lat=2ms) link:b2>x(lat=2ms) link:x>s(lat=1ms) " +
+	"link:s>rr(lat=3ms) link:rr>a(lat=3ms) link:a>c(lat=5ms) " +
+	"link:b1>a(lat=2ms) link:b2>a(lat=2ms) " +
+	"ecmp(seed=1)"
+
+func testBinder() BindMap {
+	return BindMap{
+		"wiretap": {stubProc{name: "wiretap"}},
+		"mbox":    {stubProc{name: "mbox"}},
+	}
+}
+
+func TestCompileLinearToPath(t *testing.T) {
+	prog, err := NewProgram(MustParseTopo(linearSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Linear() {
+		t.Fatal("chain spec not detected as linear")
+	}
+	sim := netem.NewSimulator(1)
+	n, err := prog.Instantiate(testBinder(), Options{Sim: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, ok := n.(*netem.Path)
+	if !ok {
+		t.Fatalf("linear program compiled to %T, want *netem.Path", n)
+	}
+	if path.ClientLink.Latency != 10*time.Millisecond || path.ClientLink.LossRate != 0.006 {
+		t.Errorf("client link = %v/%v", path.ClientLink.Latency, path.ClientLink.LossRate)
+	}
+	if path.MTU != 1500 {
+		t.Errorf("MTU = %d, want 1500", path.MTU)
+	}
+	if len(path.Hops) != 2 {
+		t.Fatalf("got %d hops, want 2", len(path.Hops))
+	}
+	// Labels override names in traces: both hops display as "r".
+	if path.Hops[0].Name != "r" || path.Hops[1].Name != "r" {
+		t.Errorf("hop names = %q, %q; want r, r", path.Hops[0].Name, path.Hops[1].Name)
+	}
+	if !path.Hops[0].Router || !path.Hops[1].Router {
+		t.Error("hops not routers")
+	}
+	if len(path.Hops[0].Taps) != 1 || path.Hops[0].Taps[0].Name() != "wiretap" {
+		t.Errorf("hop0 taps = %v", path.Hops[0].Taps)
+	}
+	if len(path.Hops[0].Processors) != 1 || path.Hops[0].Processors[0].Name() != "mbox" {
+		t.Errorf("hop0 processors = %v", path.Hops[0].Processors)
+	}
+	if path.Hops[0].Latency != time.Millisecond || path.Hops[1].Latency != time.Millisecond {
+		t.Errorf("hop latencies = %v, %v", path.Hops[0].Latency, path.Hops[1].Latency)
+	}
+}
+
+// TestCompileTwoNodeChain covers the degenerate client—server chain:
+// still linear, zero hops.
+func TestCompileTwoNodeChain(t *testing.T) {
+	n, err := Compile(MustParseTopo("node:c(client) node:s(server) link:c>s(lat=1ms) link:s>c(lat=1ms)"),
+		nil, Options{Sim: netem.NewSimulator(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, ok := n.(*netem.Path)
+	if !ok {
+		t.Fatalf("compiled to %T, want *netem.Path", n)
+	}
+	if len(path.Hops) != 0 {
+		t.Errorf("got %d hops, want 0", len(path.Hops))
+	}
+}
+
+// TestLinearityBoundary checks the shapes that must NOT take the Path
+// fast case even though they parse fine.
+func TestLinearityBoundary(t *testing.T) {
+	cases := []struct{ name, spec string }{
+		{"asymmetric latency",
+			"node:c(client) node:r(router) node:s(server) " +
+				"link:c>r(lat=2ms) link:r>c(lat=3ms) link:r>s(lat=1ms) link:s>r(lat=1ms)"},
+		{"asymmetric loss",
+			"node:c(client) node:r(router) node:s(server) " +
+				"link:c>r(loss=0.1) link:r>c link:r>s link:s>r"},
+		{"mid-path mtu",
+			"node:c(client) node:r(router) node:s(server) " +
+				"link:c>r link:r>c link:r>s(mtu=576) link:s>r"},
+		{"reverse mtu on client link",
+			"node:c(client) node:r(router) node:s(server) " +
+				"link:c>r link:r>c(mtu=1500) link:r>s link:s>r"},
+		{"one-way ring",
+			"node:c(client) node:f(router) node:r(router) node:s(server) " +
+				"link:c>f link:f>s link:s>r link:r>c"},
+		{"parallel branches", ecmpSpec},
+	}
+	for _, tc := range cases {
+		prog, err := NewProgram(MustParseTopo(tc.spec))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if prog.Linear() {
+			t.Errorf("%s: detected as linear, want fabric", tc.name)
+		}
+		n, err := prog.Instantiate(testBinder(), Options{Sim: netem.NewSimulator(1)})
+		if err != nil {
+			t.Fatalf("%s: instantiate: %v", tc.name, err)
+		}
+		if _, ok := n.(*netem.Fabric); !ok {
+			t.Errorf("%s: compiled to %T, want *netem.Fabric", tc.name, n)
+		}
+	}
+}
+
+func TestCompileFabricECMP(t *testing.T) {
+	prog, err := NewProgram(MustParseTopo(ecmpSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := prog.Instantiate(testBinder(), Options{Sim: netem.NewSimulator(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := n.(*netem.Fabric)
+	cli, srv := packet.AddrFrom4(10, 0, 0, 1), packet.AddrFrom4(10, 9, 0, 1)
+	flow := func(sport uint16) *packet.Packet {
+		return packet.NewTCP(cli, sport, srv, 80, packet.FlagSYN, 1, 0, nil)
+	}
+	// Forward routes go through exactly one of the parallel branches and
+	// are stable per flow.
+	sawB1, sawB2 := false, false
+	for sport := uint16(4000); sport < 4032; sport++ {
+		route := strings.Join(f.ForwardRoute(flow(sport)), ">")
+		switch route {
+		case "c>a>b1>x>s":
+			sawB1 = true
+		case "c>a>b2>x>s":
+			sawB2 = true
+		default:
+			t.Fatalf("unexpected forward route %q", route)
+		}
+		if again := strings.Join(f.ForwardRoute(flow(sport)), ">"); again != route {
+			t.Fatalf("route for sport %d not stable: %q then %q", sport, route, again)
+		}
+	}
+	if !sawB1 || !sawB2 {
+		t.Errorf("ECMP never split: b1=%v b2=%v over 32 flows", sawB1, sawB2)
+	}
+	// Reverse route is the asymmetric return path, branch-free.
+	if rev := strings.Join(f.ReverseRoute(flow(4000)), ">"); rev != "s>rr>a>c" {
+		t.Errorf("reverse route = %q, want s>rr>a>c", rev)
+	}
+	// Same spec, same seed → identical routing on a fresh instance.
+	n2, err := prog.Instantiate(testBinder(), Options{Sim: netem.NewSimulator(99)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := n2.(*netem.Fabric)
+	for sport := uint16(4000); sport < 4032; sport++ {
+		r1 := strings.Join(f.ForwardRoute(flow(sport)), ">")
+		r2 := strings.Join(f2.ForwardRoute(flow(sport)), ">")
+		if r1 != r2 {
+			t.Fatalf("seeded ECMP not reproducible: sport %d routed %q vs %q", sport, r1, r2)
+		}
+	}
+}
+
+// TestNewProgramErrors locks in the semantic-validation vocabulary.
+func TestNewProgramErrors(t *testing.T) {
+	cases := []struct{ in, wantErr string }{
+		{"node:s(server) link:s>s", "no client node"},
+		{"node:c(client) link:c>c", "no server node"},
+		{"node:c(client) node:c2(client) node:s(server)", "multiple client nodes"},
+		{"node:c(client) node:s(server) node:s2(server)", "multiple server nodes"},
+		{"node:c(client) node:c node:s(server) link:c>s link:s>c", `duplicate node "c"`},
+		{"node:c(client,tap=x) node:s(server) link:c>s link:s>c", "endpoints cannot carry taps"},
+		{"node:c(client) node:s(server) link:c>q link:s>c", `unknown node "q"`},
+		{"node:c(client) node:s(server) link:c>c link:c>s link:s>c", "self-link"},
+		{"node:c(client) node:s(server) link:c>s link:c>s link:s>c", "duplicate link c>s"},
+		{"node:c(client) node:s(server) link:s>c", `no route from client "c" to server "s"`},
+		{"node:c(client) node:s(server) link:c>s", `no route from server "s" to client "c"`},
+	}
+	for _, tc := range cases {
+		_, err := NewProgram(MustParseTopo(tc.in))
+		if err == nil {
+			t.Errorf("NewProgram(%q): want error containing %q, got nil", tc.in, tc.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("NewProgram(%q): error %q does not contain %q", tc.in, err, tc.wantErr)
+		}
+	}
+}
+
+// TestBindErrors covers unbound references and the nil binder.
+func TestBindErrors(t *testing.T) {
+	prog, err := NewProgram(MustParseTopo(linearSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Instantiate(nil, Options{Sim: netem.NewSimulator(1)}); err == nil ||
+		!strings.Contains(err.Error(), "no binder") {
+		t.Errorf("nil binder: got %v", err)
+	}
+	if _, err := prog.Instantiate(BindMap{}, Options{Sim: netem.NewSimulator(1)}); err == nil ||
+		!strings.Contains(err.Error(), `unbound ref "wiretap"`) {
+		t.Errorf("empty bind map: got %v", err)
+	}
+}

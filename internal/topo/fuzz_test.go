@@ -1,0 +1,47 @@
+package topo
+
+import "testing"
+
+// FuzzParseTopo asserts the parser's core invariant on arbitrary
+// input: no panics, and every accepted spec has a canonical form that
+// re-parses to the same canonical form (String is a fixed point of
+// ParseTopo∘String). `make check` runs the seed corpus as a smoke test
+// (go test -run=FuzzParseTopo); run `go test -fuzz=FuzzParseTopo
+// ./internal/topo` to explore.
+func FuzzParseTopo(f *testing.F) {
+	seeds := []string{
+		"",
+		"node:c(client) node:s(server) link:c>s(lat=1ms)",
+		"node:c(client) node:r0(router,label=r,tap=gfw-new,proc=ipf:gfw-new) node:s(server) " +
+			"link:c>r0(lat=10ms,loss=0.006,mtu=1500) link:r0>c(lat=10ms,loss=0.006) " +
+			"link:r0>s(lat=1ms) link:s>r0(lat=1ms)",
+		"node:c(client) node:a(router) node:b1(router) node:b2(router) node:s(server) " +
+			"link:c>a link:a>b1 link:a>b2 link:b1>s link:b2>s link:s>a link:a>c ecmp(seed=7)",
+		"ecmp(seed=42)",
+		"node:",
+		"node:c(",
+		"node:c(client",
+		"link:a>b(lat=,loss=)",
+		"link:a>b(mtu=-1)",
+		"  node:c( client )\n node:s(server)\tlink:c>s( lat=1500us , loss=0.50 )",
+		"ecmp(seed=0) ecmp(seed=1)",
+		"node:c(client,server)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := ParseTopo(input)
+		if err != nil {
+			return
+		}
+		canon := spec.String()
+		again, err := ParseTopo(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, input, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("String not a fixed point: %q -> %q -> %q", input, canon, again.String())
+		}
+	})
+}

@@ -76,10 +76,12 @@ func (t *Tracer) PathHook(prev func(netem.TraceEvent)) func(netem.TraceEvent) {
 }
 
 // Attach wires the tracer into a trial: the recorder tap for the event
-// stream and the path trace hook for packet bytes.
-func (t *Tracer) Attach(rec *obs.Recorder, path *netem.Path) {
+// stream and the substrate's trace hook for packet bytes. n may be a
+// linear netem.Path or a graph netem.Fabric — the hook contract is the
+// same on both.
+func (t *Tracer) Attach(rec *obs.Recorder, n netem.Net) {
 	rec.Tap(t)
-	path.Trace = t.PathHook(path.Trace)
+	n.SetTraceHook(t.PathHook(n.TraceHook()))
 }
 
 // Meta identifies the trial a trace came from.
