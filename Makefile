@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race fuzz-smoke bench-smoke bench bench-compare bench-obs
+.PHONY: check build fmt vet test race fuzz-smoke bench-smoke bench bench-compare bench-obs health-golden
 
-# check is the fast gate: build, formatting, vet, tests, the topology
-# parser's fuzz seed corpus, and a single-iteration pass over the
-# hot-path benchmarks so a broken benchmark can't sit unnoticed until
-# the next `make bench`. The race detector runs as its own target (and
-# its own CI job) because it multiplies test time severalfold.
-check: build fmt vet test fuzz-smoke bench-smoke
+# check is the fast gate: build, formatting, vet, tests (which include
+# the health-report golden and the disabled-telemetry alloc gate), the
+# topology parser's fuzz seed corpus, and a single-iteration pass over
+# the hot-path benchmarks so a broken benchmark can't sit unnoticed
+# until the next `make bench`. The race detector runs as its own target
+# (and its own CI job) because it multiplies test time severalfold.
+check: build fmt vet test health-golden fuzz-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -51,7 +52,16 @@ NEW ?= BENCH_netem.json
 bench-compare:
 	$(GO) run ./cmd/tables -what bench-compare $(OLD) $(NEW)
 
-# bench-obs measures the instrumentation tax: "disabled" must match the
-# pre-observability baseline, "enabled" should stay within a few percent.
+# bench-obs gates the instrumentation tax. The alloc gate asserts the
+# disabled-telemetry arm adds zero allocations over the seed hot-path
+# baseline (a hard failure, not a measurement); the benchmark then
+# reports the enabled-arm overhead, which should stay within a few
+# percent.
 bench-obs:
+	$(GO) test -run '^TestTelemetryDisabledZeroAlloc$$' -count=1 ./internal/experiment/
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 2s ./internal/experiment/
+
+# health-golden replays the post-campaign health report against its
+# checked-in golden rendering (byte-identical).
+health-golden:
+	$(GO) test -run '^TestHealth' -count=1 ./internal/experiment/

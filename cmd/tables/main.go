@@ -33,13 +33,14 @@ import (
 
 func main() {
 	var (
-		what     = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,bench,bench-compare,figures,strategies,topo")
-		scale    = flag.String("scale", "quick", "campaign scale: quick, mid, paper")
-		seed     = flag.Int64("seed", 42, "population/campaign seed")
-		benchOut = flag.String("bench-out", "BENCH_netem.json", "report path for -what bench")
-		strategy = flag.String("strategy", "teardown-rst/ttl", "strategy for -what explain")
-		traceDir = flag.String("trace-dir", "", "directory for causal trace bundles (-what explain and diagnose); empty skips writing")
-		progress = flag.String("progress", "", "emit live campaign progress during -what obs: 'stderr' or an HTTP listen address like 127.0.0.1:8391")
+		what      = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,health,bench,bench-compare,figures,strategies,topo")
+		scale     = flag.String("scale", "quick", "campaign scale: quick, mid, paper")
+		seed      = flag.Int64("seed", 42, "population/campaign seed")
+		benchOut  = flag.String("bench-out", "BENCH_netem.json", "report path for -what bench")
+		strategy  = flag.String("strategy", "teardown-rst/ttl", "strategy for -what explain")
+		traceDir  = flag.String("trace-dir", "", "directory for causal trace bundles (-what explain and diagnose); empty skips writing")
+		progress  = flag.String("progress", "", "emit live campaign progress during -what obs or health: 'stderr' or an HTTP listen address like 127.0.0.1:8391")
+		healthDir = flag.String("health-dir", "", "directory for the health.json/health.txt artifact pair (-what health); empty skips writing")
 	)
 	flag.Parse()
 
@@ -211,6 +212,28 @@ func main() {
 		fmt.Print(obs.FormatEvents(f.Events))
 		fmt.Println()
 	}
+	// Strict equality: the health campaign duplicates Table 1, so
+	// "-what all" must not pick it up.
+	if *what == "health" {
+		ran = true
+		if *progress != "" {
+			opts := &experiment.ProgressOptions{W: os.Stderr, Interval: 100 * time.Millisecond}
+			if *progress != "stderr" {
+				opts.HTTPAddr = *progress
+			}
+			r.Progress = opts
+		}
+		h := experiment.RunHealthCampaign(r, sc, "table1-"+*scale)
+		fmt.Print(experiment.FormatHealth(h))
+		if *healthDir != "" {
+			paths, err := experiment.WriteHealthArtifacts(*healthDir, h)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "write health artifacts: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d health artifact files under %s\n", len(paths), *healthDir)
+		}
+	}
 	// Strict equality again: benchmarking is minutes of repeated
 	// campaigns, so "-what all" must not pick it up either.
 	if *what == "bench" {
@@ -277,7 +300,7 @@ func main() {
 		fmt.Println(experiment.Figure4(r))
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,bench,bench-compare,figures,strategies,topo\n", *what)
+		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,health,bench,bench-compare,figures,strategies,topo\n", *what)
 		os.Exit(2)
 	}
 }

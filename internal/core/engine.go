@@ -35,6 +35,14 @@ type Engine struct {
 	// OnOutboundRaw, when set, observes every packet actually emitted.
 	OnOutboundRaw func(em Emission)
 
+	// FirstSendAt/LastSendAt bracket, on the virtual clock, every
+	// packet the engine emitted — including delayed insertion waves —
+	// so the experiment runner can span the strategy-application
+	// stage. Both stay zero until the first send.
+	FirstSendAt time.Duration
+	LastSendAt  time.Duration
+	sentAny     bool
+
 	flows map[packet.FourTuple]*flowState
 }
 
@@ -170,6 +178,12 @@ func (e *Engine) emit(emissions []Emission) {
 }
 
 func (e *Engine) send(em Emission) {
+	now := e.Sim.Now()
+	if !e.sentAny {
+		e.sentAny = true
+		e.FirstSendAt = now
+	}
+	e.LastSendAt = now
 	if e.OnOutboundRaw != nil {
 		e.OnOutboundRaw(em)
 	}

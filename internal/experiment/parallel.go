@@ -42,7 +42,7 @@ func (r *Runner) RunParallel(jobs []trialJob, tallies []*Tally) {
 	var prog *progressTracker
 	if r.Progress != nil {
 		prog = newProgressTracker(jobs, *r.Progress)
-		r.progressAddr = prog.Addr()
+		r.progressAddr.Store(prog.Addr())
 	}
 	var wg sync.WaitGroup
 	ch := make(chan trialJob, workers)
@@ -69,6 +69,11 @@ func (r *Runner) RunParallel(jobs []trialJob, tallies []*Tally) {
 	close(ch)
 	wg.Wait()
 	prog.finish()
+	if prog != nil {
+		r.progressSeries = prog.Series()
+		r.progressFinal = prog.snapshot()
+		r.progressRan = true
+	}
 	for w := range tallyShards {
 		for i, t := range tallyShards[w] {
 			tallies[i].Merge(t)

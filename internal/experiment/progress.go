@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"intango/internal/obs"
 )
 
 // ProgressOptions configures live campaign-progress reporting for
@@ -26,6 +28,10 @@ type ProgressOptions struct {
 	// (import the progresshttp subpackage); without one the option is
 	// reported on W and ignored.
 	HTTPAddr string
+	// SeriesCap bounds the sampled time-series ring (default
+	// obs.DefaultSeriesCap). The sampler records one point per
+	// Interval; when full the oldest points are dropped.
+	SeriesCap int
 }
 
 // StrategyProgress is the per-strategy slice of a snapshot.
@@ -47,22 +53,51 @@ type ProgressSnapshot struct {
 	Strategies   []StrategyProgress `json:"strategies,omitempty"`
 }
 
-// MetricsText renders the snapshot as expvar-style plain text, one
-// metric per line — the /metrics view of the progress endpoint.
+// MetricsText renders the snapshot in Prometheus exposition format —
+// the /metrics view of the progress endpoint. Strategy labels carry
+// raw spec text (quotes, backslashes, arbitrary UTF-8), so they go
+// through obs.PromLabel rather than %q: Go quoting escapes non-ASCII,
+// which the exposition format forbids, and real scrapers reject it.
+// Each family is emitted contiguously under one # TYPE header, as the
+// format requires.
 func (s ProgressSnapshot) MetricsText() string {
 	var b strings.Builder
+	gauge := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	gauge("trials_done", "Trials completed so far.")
 	fmt.Fprintf(&b, "trials_done %d\n", s.Done)
+	gauge("trials_total", "Trials in the campaign.")
 	fmt.Fprintf(&b, "trials_total %d\n", s.Total)
+	gauge("trials_per_sec", "Campaign throughput.")
 	fmt.Fprintf(&b, "trials_per_sec %g\n", s.TrialsPerSec)
+	gauge("eta_seconds", "Estimated seconds to completion.")
 	fmt.Fprintf(&b, "eta_seconds %g\n", s.ETASeconds)
+	gauge("outcome_success", "Trials classified success.")
 	fmt.Fprintf(&b, "outcome_success %d\n", s.Success)
+	gauge("outcome_failure1", "Trials classified failure-1.")
 	fmt.Fprintf(&b, "outcome_failure1 %d\n", s.Failure1)
+	gauge("outcome_failure2", "Trials classified failure-2.")
 	fmt.Fprintf(&b, "outcome_failure2 %d\n", s.Failure2)
-	for _, sp := range s.Strategies {
-		fmt.Fprintf(&b, "strategy_done{strategy=%q} %d\n", sp.Strategy, sp.Done)
-		fmt.Fprintf(&b, "strategy_success{strategy=%q} %d\n", sp.Strategy, sp.Success)
+	if len(s.Strategies) > 0 {
+		gauge("strategy_done", "Trials completed per strategy.")
+		for _, sp := range s.Strategies {
+			fmt.Fprintf(&b, "strategy_done{strategy=\"%s\"} %d\n", obs.PromLabel(sp.Strategy), sp.Done)
+		}
+		gauge("strategy_success", "Successful trials per strategy.")
+		for _, sp := range s.Strategies {
+			fmt.Fprintf(&b, "strategy_success{strategy=\"%s\"} %d\n", obs.PromLabel(sp.Strategy), sp.Success)
+		}
 	}
 	return b.String()
+}
+
+// ProgressFeeds bundles the live views a progress server exposes:
+// Snapshot for the current campaign state (/progress, /metrics) and
+// Series for the sampled time-series window (/timeseries).
+type ProgressFeeds struct {
+	Snapshot func() ProgressSnapshot
+	Series   func() obs.TimeSeriesSnapshot
 }
 
 // progressServer, when registered, serves live snapshots over HTTP.
@@ -70,13 +105,13 @@ func (s ProgressSnapshot) MetricsText() string {
 // never imports net/http: the http package's init-time heap globals
 // would otherwise be marked by every GC cycle of every program linking
 // the experiment harness, which is measurable on the trial hot path.
-var progressServer func(snapshot func() ProgressSnapshot, diag io.Writer, addr string) (stop func(), bound string)
+var progressServer func(feeds ProgressFeeds, diag io.Writer, addr string) (stop func(), bound string)
 
 // RegisterProgressServer installs the HTTP serving implementation used
 // when ProgressOptions.HTTPAddr is set. The progresshttp subpackage
 // registers itself from init; programs that want the endpoint import
 // it, everything else stays free of net/http.
-func RegisterProgressServer(f func(snapshot func() ProgressSnapshot, diag io.Writer, addr string) (stop func(), bound string)) {
+func RegisterProgressServer(f func(feeds ProgressFeeds, diag io.Writer, addr string) (stop func(), bound string)) {
 	progressServer = f
 }
 
@@ -92,9 +127,10 @@ type progressTracker struct {
 	total    int64
 	start    time.Time
 	done     atomic.Int64
-	outcomes [3]atomic.Int64
+	outcomes [numOutcomes]atomic.Int64
 	strats   map[string]*stratCounters
 	names    []string // sorted strategy labels
+	series   *obs.TimeSeries
 
 	opts    ProgressOptions
 	stop    chan struct{}
@@ -104,12 +140,14 @@ type progressTracker struct {
 }
 
 // newProgressTracker sizes the tracker from the job list (labels are
-// known up-front) and starts the ticker and optional HTTP endpoint.
+// known up-front) and starts the sampler ticker and optional HTTP
+// endpoint.
 func newProgressTracker(jobs []trialJob, opts ProgressOptions) *progressTracker {
 	t := &progressTracker{
 		total:  int64(len(jobs)),
 		start:  time.Now(),
 		strats: map[string]*stratCounters{},
+		series: obs.NewTimeSeries(DefaultSeriesCap(opts)),
 		opts:   opts,
 		stop:   make(chan struct{}),
 		wg:     make(chan struct{}),
@@ -121,6 +159,7 @@ func newProgressTracker(jobs []trialJob, opts ProgressOptions) *progressTracker 
 		}
 	}
 	sort.Strings(t.names)
+	t.sample() // t=0 baseline; finish() adds the closing sample
 	if opts.HTTPAddr != "" {
 		t.serveHTTP(opts.HTTPAddr)
 	}
@@ -132,19 +171,58 @@ func newProgressTracker(jobs []trialJob, opts ProgressOptions) *progressTracker 
 	return t
 }
 
-// note records one finished trial. Called from worker goroutines.
+// DefaultSeriesCap resolves the sample-ring capacity for opts (the
+// obs default unless overridden).
+func DefaultSeriesCap(opts ProgressOptions) int {
+	if opts.SeriesCap > 0 {
+		return opts.SeriesCap
+	}
+	return obs.DefaultSeriesCap
+}
+
+// note records one finished trial. Called from worker goroutines. An
+// out-of-range outcome (a future Outcome value this tracker predates)
+// still counts toward done; it must never panic a live campaign.
 func (t *progressTracker) note(label string, out Outcome) {
 	if t == nil {
 		return
 	}
 	t.done.Add(1)
-	t.outcomes[out].Add(1)
+	if out >= 0 && int(out) < len(t.outcomes) {
+		t.outcomes[out].Add(1)
+	}
 	if sc := t.strats[label]; sc != nil {
 		sc.done.Add(1)
 		if out == Success {
 			sc.success.Add(1)
 		}
 	}
+}
+
+// sample appends one time-series point from the current snapshot. The
+// sampler is the one place in the telemetry stack allowed to read the
+// wall clock; everything inside a trial is stamped with virtual time.
+func (t *progressTracker) sample() {
+	s := t.snapshot()
+	t.series.Append(obs.SeriesPoint{
+		T: time.Since(t.start).Seconds(),
+		Values: map[string]float64{
+			"done":           float64(s.Done),
+			"total":          float64(s.Total),
+			"success":        float64(s.Success),
+			"failure_1":      float64(s.Failure1),
+			"failure_2":      float64(s.Failure2),
+			"trials_per_sec": s.TrialsPerSec,
+		},
+	})
+}
+
+// Series returns the sampled window so far.
+func (t *progressTracker) Series() obs.TimeSeriesSnapshot {
+	if t == nil {
+		return obs.TimeSeriesSnapshot{}
+	}
+	return t.series.Snapshot()
 }
 
 // snapshot assembles the current view.
@@ -193,6 +271,7 @@ func (t *progressTracker) loop(interval time.Duration) {
 	for {
 		select {
 		case <-tick.C:
+			t.sample()
 			if t.opts.W != nil {
 				fmt.Fprintln(t.opts.W, t.snapshot().line())
 			}
@@ -213,16 +292,20 @@ func (t *progressTracker) serveHTTP(addr string) {
 		}
 		return
 	}
-	t.stopSrv, t.addr = progressServer(t.snapshot, t.opts.W, addr)
+	t.stopSrv, t.addr = progressServer(ProgressFeeds{Snapshot: t.snapshot, Series: t.Series}, t.opts.W, addr)
 }
 
 // finish stops the ticker and endpoint and emits the final snapshot.
+// The closing sample runs before the endpoint stops, so every campaign
+// — however short — serves at least two points (the t=0 baseline and
+// this one) and the retained series always ends at the final counts.
 func (t *progressTracker) finish() {
 	if t == nil {
 		return
 	}
 	close(t.stop)
 	<-t.wg
+	t.sample()
 	if t.stopSrv != nil {
 		t.stopSrv()
 	}

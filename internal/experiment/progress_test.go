@@ -29,12 +29,53 @@ func TestProgressTracker(t *testing.T) {
 	}
 
 	text := s.MetricsText()
-	for _, want := range []string{"trials_done 3", "trials_total 4", `strategy_success{strategy="a"} 1`} {
+	for _, want := range []string{
+		"# TYPE trials_done gauge",
+		"# TYPE strategy_success gauge",
+		"trials_done 3", "trials_total 4",
+		`strategy_success{strategy="a"} 1`,
+	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, text)
 		}
 	}
 	pt.finish()
+	// The sampler runs at construction and at finish, so even a
+	// never-ticking tracker retains two bracketing samples.
+	series := pt.Series()
+	if len(series.Points) < 2 {
+		t.Fatalf("series has %d points, want >= 2", len(series.Points))
+	}
+	last := series.Last()
+	if last.Values["done"] != 3 || last.Values["success"] != 2 {
+		t.Fatalf("closing sample = %+v", last)
+	}
+}
+
+// TestProgressMetricsEscaping: strategy labels carry raw spec text;
+// the exposition format escapes exactly backslash, quote, and newline
+// and passes non-ASCII through unmodified (%q would corrupt it).
+func TestProgressMetricsEscaping(t *testing.T) {
+	s := ProgressSnapshot{Strategies: []StrategyProgress{
+		{Strategy: `rst(disc="ttl\x")` + "\nπ", Done: 1},
+	}}
+	text := s.MetricsText()
+	want := `strategy_done{strategy="rst(disc=\"ttl\\x\")\nπ"} 1`
+	if !strings.Contains(text, want) {
+		t.Fatalf("metrics missing %q:\n%s", want, text)
+	}
+}
+
+// TestProgressNoteOutOfRange: a future Outcome value must not panic
+// the tracker; it still counts toward done.
+func TestProgressNoteOutOfRange(t *testing.T) {
+	pt := newProgressTracker([]trialJob{{label: "a"}}, ProgressOptions{Interval: time.Hour})
+	pt.note("a", Outcome(99))
+	pt.note("a", Outcome(-1))
+	pt.finish()
+	if s := pt.snapshot(); s.Done != 2 || s.Success != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
 }
 
 // TestProgressHTTPUnregistered: this package deliberately never links

@@ -1,5 +1,6 @@
 // Package progresshttp serves live campaign-progress snapshots over
-// HTTP: /progress as JSON, /metrics as expvar-style plain text.
+// HTTP: /progress as JSON, /metrics in Prometheus exposition format,
+// and /timeseries as the sampled campaign time-series window (JSON).
 //
 // It registers itself with the experiment harness from init, so
 // enabling the endpoint is just an import:
@@ -26,11 +27,12 @@ func init() {
 	experiment.RegisterProgressServer(Serve)
 }
 
-// Serve binds addr and serves snapshot() on /progress (JSON) and
-// /metrics (plain text) until stop is called. A bind failure is
-// reported on diag (when set) and returns a nil stop with an empty
-// bound address: progress serving must never abort a campaign.
-func Serve(snapshot func() experiment.ProgressSnapshot, diag io.Writer, addr string) (stop func(), bound string) {
+// Serve binds addr and serves feeds until stop is called: /progress
+// (snapshot JSON), /metrics (Prometheus exposition), /timeseries
+// (sampled series JSON). A bind failure is reported on diag (when set)
+// and returns a nil stop with an empty bound address: progress serving
+// must never abort a campaign.
+func Serve(feeds experiment.ProgressFeeds, diag io.Writer, addr string) (stop func(), bound string) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		if diag != nil {
@@ -41,11 +43,19 @@ func Serve(snapshot func() experiment.ProgressSnapshot, diag io.Writer, addr str
 	mux := http.NewServeMux()
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(snapshot())
+		_ = json.NewEncoder(w).Encode(feeds.Snapshot())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, snapshot().MetricsText())
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		io.WriteString(w, feeds.Snapshot().MetricsText())
+	})
+	mux.HandleFunc("/timeseries", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var series any = struct{}{}
+		if feeds.Series != nil {
+			series = feeds.Series()
+		}
+		_ = json.NewEncoder(w).Encode(series)
 	})
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()

@@ -10,16 +10,27 @@ import (
 
 	"intango/internal/experiment"
 	"intango/internal/experiment/progresshttp"
+	"intango/internal/obs"
 )
 
-// TestServe drives the HTTP endpoint directly against a fixed
-// snapshot.
+// TestServe drives the HTTP endpoint directly against fixed feeds.
 func TestServe(t *testing.T) {
 	snap := experiment.ProgressSnapshot{
 		Done: 3, Total: 4, Success: 2, Failure2: 1,
-		Strategies: []experiment.StrategyProgress{{Strategy: "a", Done: 2, Success: 1}},
+		Strategies: []experiment.StrategyProgress{
+			{Strategy: "a", Done: 2, Success: 1},
+			{Strategy: `q"uo\te` + "\n", Done: 1},
+		},
 	}
-	stop, addr := progresshttp.Serve(func() experiment.ProgressSnapshot { return snap }, nil, "127.0.0.1:0")
+	series := obs.TimeSeriesSnapshot{Points: []obs.SeriesPoint{
+		{T: 0, Values: map[string]float64{"done": 0}},
+		{T: 0.5, Values: map[string]float64{"done": 3}},
+	}}
+	feeds := experiment.ProgressFeeds{
+		Snapshot: func() experiment.ProgressSnapshot { return snap },
+		Series:   func() obs.TimeSeriesSnapshot { return series },
+	}
+	stop, addr := progresshttp.Serve(feeds, nil, "127.0.0.1:0")
 	if addr == "" {
 		t.Fatal("no endpoint bound")
 	}
@@ -45,17 +56,39 @@ func TestServe(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	text := string(body)
-	for _, want := range []string{"trials_done 3", "trials_total 4", `strategy_success{strategy="a"} 1`} {
+	for _, want := range []string{
+		"# TYPE trials_done gauge",
+		"trials_done 3",
+		"trials_total 4",
+		`strategy_success{strategy="a"} 1`,
+		`strategy_done{strategy="q\"uo\\te\n"} 1`,
+	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, text)
 		}
+	}
+
+	resp, err = http.Get("http://" + addr + "/timeseries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts obs.TimeSeriesSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&ts); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(ts.Points) != 2 || ts.Points[1].Values["done"] != 3 {
+		t.Fatalf("timeseries = %+v", ts)
 	}
 }
 
 // TestServeBindFailure: an unusable address degrades to a diagnostic.
 func TestServeBindFailure(t *testing.T) {
 	var buf strings.Builder
-	stop, addr := progresshttp.Serve(func() experiment.ProgressSnapshot { return experiment.ProgressSnapshot{} }, &buf, "256.0.0.1:0")
+	feeds := experiment.ProgressFeeds{
+		Snapshot: func() experiment.ProgressSnapshot { return experiment.ProgressSnapshot{} },
+	}
+	stop, addr := progresshttp.Serve(feeds, &buf, "256.0.0.1:0")
 	if stop != nil || addr != "" {
 		t.Fatalf("bind to bogus address succeeded: %q", addr)
 	}
@@ -74,5 +107,63 @@ func TestCampaignEndpointWiring(t *testing.T) {
 	experiment.RunTable1Parallel(r, experiment.Scale{VPs: 1, Servers: 1, Trials: 1})
 	if r.ProgressAddr() == "" {
 		t.Fatal("campaign never bound the progress endpoint")
+	}
+}
+
+// TestTimeseriesMidCampaign scrapes /timeseries while a campaign is
+// still running and asserts the sampler has produced at least the
+// baseline plus one interval sample.
+func TestTimeseriesMidCampaign(t *testing.T) {
+	r := experiment.NewRunner(7)
+	r.Workers = 1
+	r.Progress = &experiment.ProgressOptions{Interval: time.Millisecond, HTTPAddr: "127.0.0.1:0"}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		experiment.RunTable1Parallel(r, experiment.Scale{VPs: 1, Servers: 1, Trials: 2})
+	}()
+
+	// Wait for the endpoint to bind, then poll until two samples show.
+	var addr string
+	for i := 0; i < 1000 && addr == ""; i++ {
+		addr = r.ProgressAddr()
+		time.Sleep(time.Millisecond)
+	}
+	if addr == "" {
+		<-done
+		t.Fatal("campaign never bound the progress endpoint")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var ts obs.TimeSeriesSnapshot
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/timeseries")
+		if err != nil {
+			break // campaign finished and closed the endpoint
+		}
+		err = json.NewDecoder(resp.Body).Decode(&ts)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode /timeseries: %v", err)
+		}
+		if len(ts.Points) >= 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+	if len(ts.Points) < 2 {
+		// The campaign may have outrun the scraper; the retained series
+		// must still carry the baseline and closing samples.
+		ts = r.ProgressSeries()
+	}
+	if len(ts.Points) < 2 {
+		t.Fatalf("timeseries has %d points, want >= 2", len(ts.Points))
+	}
+	if ts.Points[0].T > ts.Points[len(ts.Points)-1].T {
+		t.Fatal("timeseries not in time order")
+	}
+	if _, ok := ts.Points[0].Values["done"]; !ok {
+		t.Fatalf("sample missing done value: %+v", ts.Points[0])
 	}
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiment
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-gate test skips under it (instrumentation allocates).
+const raceEnabled = false

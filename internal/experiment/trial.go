@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"intango/internal/appsim"
@@ -32,6 +33,10 @@ const (
 	Failure1
 	// Failure2: reset packets from the GFW (type-1 or type-2).
 	Failure2
+
+	// numOutcomes sizes outcome-indexed arrays (the progress tracker's
+	// per-outcome counters); keep it last in the block.
+	numOutcomes = iota
 )
 
 // String names the outcome.
@@ -81,7 +86,16 @@ type Runner struct {
 	// An invalid spec panics at the first build.
 	Topo string
 
-	progressAddr string
+	// progressAddr is atomic: callers poll ProgressAddr from other
+	// goroutines while RunParallel is binding the endpoint (the whole
+	// point of a live scrape).
+	progressAddr atomic.Value // string
+	// progressSeries and progressFinal are retained from the tracker
+	// when a progress-enabled RunParallel completes; the health report
+	// builds its throughput curve and final counts from them.
+	progressSeries obs.TimeSeriesSnapshot
+	progressFinal  ProgressSnapshot
+	progressRan    bool
 
 	poolOnce sync.Once
 	pool     *packet.Pool
@@ -111,7 +125,23 @@ func (r *Runner) PoolStats() packet.PoolStats {
 
 // ProgressAddr returns the bound address of the live progress HTTP
 // endpoint once RunParallel has started it ("" when none configured).
-func (r *Runner) ProgressAddr() string { return r.progressAddr }
+// Safe to poll from another goroutine while a campaign runs.
+func (r *Runner) ProgressAddr() string {
+	if v := r.progressAddr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// ProgressSeries returns the sampled campaign time-series retained
+// from the most recent progress-enabled RunParallel (empty when
+// progress was never configured).
+func (r *Runner) ProgressSeries() obs.TimeSeriesSnapshot { return r.progressSeries }
+
+// FinalProgress returns the closing progress snapshot of the most
+// recent progress-enabled RunParallel; ok is false when progress was
+// never configured.
+func (r *Runner) FinalProgress() (ProgressSnapshot, bool) { return r.progressFinal, r.progressRan }
 
 // NewRunner builds a runner with the default calibration.
 func NewRunner(seed int64) *Runner {
@@ -253,7 +283,64 @@ func (r *Runner) runRig(vp VantagePoint, srv Server, factory core.Factory, sensi
 		rg.engine.NewStrategy = func(packet.FourTuple) core.Strategy { return factory() }
 	}
 	conn := fetch(rg, srv, sensitive)
+	if rec != nil {
+		recordStageSpans(rg, conn, reg, rec)
+	}
 	return classify(rg, conn, sensitive), rg, rec
+}
+
+// Stage histogram names, shared by span recording and the health
+// report. Constants keep the instrumented path free of per-span string
+// concatenation.
+const (
+	spanBuild     = "span.build"
+	spanHandshake = "span.handshake"
+	spanStrategy  = "span.strategy"
+	spanVerdict   = "span.verdict"
+	spanTeardown  = "span.teardown"
+)
+
+// connectWindow is how long fetch waits for the handshake before
+// writing the request — and what the handshake span charges when the
+// connection never establishes.
+const connectWindow = 500 * time.Millisecond
+
+// recordStageSpans brackets the trial's stages on the virtual clock —
+// topology build, handshake, strategy application, censor verdict,
+// teardown — recording each as a flight-recorder span and folding its
+// duration into the registry's stage histograms. Everything here reads
+// marks the layers stamped while the simulation ran; nothing schedules
+// events or draws randomness, so instrumented trials stay bit-identical
+// to bare ones, serial or parallel.
+func recordStageSpans(rg *rig, conn *tcpstack.Conn, reg *obs.Registry, rec *obs.Recorder) {
+	span := func(name string, start, end time.Duration) {
+		if end < start {
+			end = start
+		}
+		rec.AddSpan(name, start, end)
+		reg.Histogram(name, obs.DefaultDurationBuckets).Observe(uint64(end - start))
+	}
+	// Topology build happens before the virtual clock starts ticking;
+	// a zero-width span at t=0 keeps the stage visible in exports.
+	span(spanBuild, 0, 0)
+	est := conn.EstablishedAt
+	if est == 0 {
+		// Never established: charge the full window fetch waited.
+		est = connectWindow
+	}
+	span(spanHandshake, 0, est)
+	span(spanStrategy, rg.engine.FirstSendAt, rg.engine.LastSendAt)
+	for _, dev := range rg.devices {
+		if dev.FirstPktAt == 0 && dev.LastPktAt == 0 {
+			continue // saw no traffic
+		}
+		end := dev.VerdictAt
+		if end == 0 {
+			end = dev.LastPktAt
+		}
+		span(spanVerdict, dev.FirstPktAt, end)
+	}
+	span(spanTeardown, rg.net.LastEventAt(), rg.sim.Now())
 }
 
 // runOne runs one trial against an explicit sink (RunParallel hands
@@ -312,7 +399,7 @@ func (r *Runner) RunOneCausal(vp VantagePoint, srv Server, factory core.Factory,
 // and advances the simulation long enough to settle.
 func fetch(rg *rig, srv Server, sensitive bool) *tcpstack.Conn {
 	conn := rg.cli.Connect(srv.Addr, 80)
-	rg.sim.RunFor(500 * time.Millisecond)
+	rg.sim.RunFor(connectWindow)
 	uri := "/index.html"
 	if sensitive {
 		uri = "/search?q=" + Keyword

@@ -52,6 +52,18 @@ type Device struct {
 	t2TTL uint8
 	t2Win uint16
 
+	// Stage marks for span profiling, all on the virtual clock:
+	// FirstPktAt/LastPktAt bracket the traffic this device saw, and
+	// VerdictAt stamps its first enforcement action (injection or
+	// block), zero if it never enforced. now caches the simulation
+	// clock at the top of Process so eventPkt can stamp verdicts
+	// without threading a Context through every call site.
+	FirstPktAt time.Duration
+	LastPktAt  time.Duration
+	VerdictAt  time.Duration
+	sawPkt     bool
+	now        time.Duration
+
 	// OnEvent, when set, observes device events.
 	OnEvent func(Event)
 	// Stats counts events by kind.
@@ -113,11 +125,23 @@ func (d *Device) event(kind string, tuple packet.FourTuple, detail string) {
 	d.eventPkt(kind, tuple, nil, detail)
 }
 
+// verdictKinds are the event kinds that count as enforcement — the
+// same set classify() in the experiment runner treats as censorship.
+var verdictKinds = map[string]bool{
+	"inject-type1":  true,
+	"inject-type2":  true,
+	"block-enforce": true,
+	"forged-synack": true,
+}
+
 // eventPkt is event keyed to the packet that caused the state
 // transition, so the flight recorder (and the causal tracer tapping
 // it) can tie censor state changes back to specific wire packets.
 func (d *Device) eventPkt(kind string, tuple packet.FourTuple, cause *packet.Packet, detail string) {
 	d.Stats[kind]++
+	if d.VerdictAt == 0 && verdictKinds[kind] {
+		d.VerdictAt = d.now
+	}
 	id := lineageOf(cause)
 	if d.Obs != nil {
 		d.Obs.Count("gfw." + kind)
@@ -148,6 +172,12 @@ func lineageOf(pkt *packet.Packet) uint32 {
 // Process implements netem.Processor as an on-path tap: it always
 // passes and never mutates pkt.
 func (d *Device) Process(ctx *netem.Context, pkt *packet.Packet, dir netem.Direction) netem.Verdict {
+	d.now = ctx.Sim.Now()
+	if !d.sawPkt {
+		d.sawPkt = true
+		d.FirstPktAt = d.now
+	}
+	d.LastPktAt = d.now
 	switch {
 	case pkt.UDP != nil:
 		d.processUDP(ctx, pkt)

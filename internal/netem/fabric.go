@@ -81,6 +81,7 @@ type Fabric struct {
 	finalized      bool
 
 	counts   [numPathEvents]uint64
+	lastAt   time.Duration
 	lineageN uint32
 	ctx      Context
 }
@@ -253,6 +254,7 @@ func (f *Fabric) name(idx int) string { return f.nodes[idx].Name }
 // out), and the optional trace hook.
 func (f *Fabric) trace(where string, ev int, dir Direction, pkt *packet.Packet) {
 	f.counts[ev]++
+	f.lastAt = f.Sim.Now()
 	if ev == evSend || ev == evInject {
 		f.StampLineage(pkt)
 	}
@@ -402,6 +404,10 @@ func (f *Fabric) StampLineage(pkt *packet.Packet) uint32 {
 	}
 	return pkt.Lin.ID
 }
+
+// LastEventAt implements Net: the virtual time of the most recent
+// packet event (zero before any traffic).
+func (f *Fabric) LastEventAt() time.Duration { return f.lastAt }
 
 // FlushCounters implements Net.
 func (f *Fabric) FlushCounters() {

@@ -37,6 +37,10 @@ type Net interface {
 	// FlushCounters folds accumulated per-event totals into the
 	// attached observability registry; a no-op without one.
 	FlushCounters()
+	// LastEventAt returns the virtual time of the most recent packet
+	// event on the substrate (zero before any traffic). The experiment
+	// runner reads it to bracket the teardown stage span.
+	LastEventAt() time.Duration
 	// Describe renders the topology as a one-line ASCII diagram.
 	Describe() string
 }

@@ -117,6 +117,11 @@ type Path struct {
 	// the hot path. FlushCounters folds them into the registry.
 	counts [numPathEvents]uint64
 
+	// lastAt is the virtual time of the most recent packet event; the
+	// experiment runner reads it to close the teardown span (last wire
+	// activity → trial end). One store per event, no allocation.
+	lastAt time.Duration
+
 	// lineageN is the wire-ID allocator for causal tracing: every
 	// packet gets a path-unique ID the first time it is sent or
 	// injected. Assignment is one compare and one increment, always on
@@ -235,6 +240,7 @@ var pathEventCounters = [numPathEvents]string{
 
 func (p *Path) trace(where string, ev int, dir Direction, pkt *packet.Packet) {
 	p.counts[ev]++
+	p.lastAt = p.Sim.Now()
 	if ev == evSend || ev == evInject {
 		p.StampLineage(pkt)
 	}
@@ -266,6 +272,10 @@ func (p *Path) StampLineage(pkt *packet.Packet) uint32 {
 	}
 	return pkt.Lin.ID
 }
+
+// LastEventAt implements Net: the virtual time of the most recent
+// packet event (zero before any traffic).
+func (p *Path) LastEventAt() time.Duration { return p.lastAt }
 
 // FlushCounters folds the path's accumulated event counts into the
 // observability registry and resets them. Call once per finished

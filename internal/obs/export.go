@@ -10,10 +10,12 @@ import (
 	"time"
 )
 
-// Snapshot is a point-in-time copy of a registry's counters, ready for
-// text or JSON export.
+// Snapshot is a point-in-time copy of a registry's metrics — counters,
+// gauges, and histograms — ready for text, JSON, or Prometheus export.
 type Snapshot struct {
-	Counters map[string]uint64 `json:"counters"`
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Keys returns the counter names in sorted order.
@@ -26,8 +28,19 @@ func (s Snapshot) Keys() []string {
 	return keys
 }
 
-// WriteText renders the snapshot as aligned "name value" lines, sorted
-// by name so output is diff-stable.
+// sortedKeys returns the keys of any metric map in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteText renders the snapshot as aligned "name value" lines —
+// counters first, then gauges, then histogram summaries — sorted by
+// name so output is diff-stable.
 func (s Snapshot) WriteText(w io.Writer) error {
 	keys := s.Keys()
 	width := 0
@@ -38,6 +51,20 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	}
 	for _, k := range keys {
 		if _, err := fmt.Fprintf(w, "%-*s %d\n", width, k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "%s (gauge) %d\n", k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "%s (hist) count=%d mean=%.3fms p50=%.0fms p99=%.0fms\n",
+			k, h.Count, h.Mean()/float64(time.Millisecond),
+			float64(h.Quantile(0.50))/float64(time.Millisecond),
+			float64(h.Quantile(0.99))/float64(time.Millisecond)); err != nil {
 			return err
 		}
 	}

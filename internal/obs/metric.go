@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Gauge is one named atomic level — a value that can move both ways,
+// unlike the monotonic Counter. The zero value is ready to use. Shards
+// merge gauges by addition (each worker reports its share of the
+// level), which keeps Registry.Merge commutative: any merge order
+// produces identical totals.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value. Safe on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (negative to decrease). Safe on a nil
+// receiver.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current level. Safe on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultDurationBuckets are the fixed histogram bounds used for
+// virtual-time span durations, in nanoseconds: 1 ms to 10 s roughly
+// log-spaced, bracketing everything a trial's 8.5 s virtual window can
+// produce. Values above the last bound land in the overflow bucket.
+var DefaultDurationBuckets = []uint64{
+	uint64(1 * time.Millisecond),
+	uint64(2 * time.Millisecond),
+	uint64(5 * time.Millisecond),
+	uint64(10 * time.Millisecond),
+	uint64(20 * time.Millisecond),
+	uint64(50 * time.Millisecond),
+	uint64(100 * time.Millisecond),
+	uint64(200 * time.Millisecond),
+	uint64(500 * time.Millisecond),
+	uint64(1 * time.Second),
+	uint64(2 * time.Second),
+	uint64(5 * time.Second),
+	uint64(10 * time.Second),
+}
+
+// Histogram is a fixed-bucket distribution: bounds are inclusive upper
+// limits chosen at registration and never change, so per-worker shards
+// always share a bucket layout and merging is bucket-wise addition —
+// associative, commutative, and (because counts and sums are integers)
+// bit-identical in any merge order. Observation is a linear scan over a
+// small bounds slice plus one atomic increment: lock-free and
+// allocation-free.
+type Histogram struct {
+	bounds []uint64        // ascending inclusive upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; the last is the overflow bucket
+	sum    atomic.Uint64
+	total  atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending bounds. The
+// slice is not copied; callers must not mutate it (package-level bucket
+// vars like DefaultDurationBuckets are the intended source).
+func NewHistogram(bounds []uint64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value. Safe on a nil receiver.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// Count returns how many values were observed. Safe on a nil receiver.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Merge folds other's buckets into h bucket-wise. Both sides of a
+// merge come from the same registration site and therefore share
+// bounds; a shape mismatch (possible only through direct construction)
+// folds what aligns and drops the rest into the overflow bucket rather
+// than corrupting memory. Safe when either histogram is nil.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	for i := range other.counts {
+		n := other.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		j := i
+		if j >= len(h.counts) {
+			j = len(h.counts) - 1
+		}
+		h.counts[j].Add(n)
+	}
+	h.sum.Add(other.sum.Load())
+	h.total.Add(other.total.Load())
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.total.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, ready for
+// export and quantile estimation.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive upper bucket limits; Counts has one
+	// extra trailing entry for values above the last bound.
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Sum    uint64   `json:"sum"`
+	Count  uint64   `json:"count"`
+}
+
+// Quantile returns the upper bound of the bucket holding the q-th
+// quantile (0 < q <= 1) by nearest rank — an upper estimate with
+// bucket-width resolution. The overflow bucket reports the last bound
+// (the histogram cannot see past it). Returns 0 on an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if float64(rank) < q*float64(s.Count) || rank == 0 {
+		rank++
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen uint64
+	for i, n := range s.Counts {
+		seen += n
+		if seen >= rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean returns the arithmetic mean of the observed values (0 when
+// empty). Unlike Quantile it is exact: the sum is tracked outside the
+// buckets.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus exposition helpers. The repo's counter names use dots and
+// dashes ("netem.drop-loss"), which are illegal in Prometheus metric
+// names, and strategy labels carry raw spec text (backslashes, quotes,
+// arbitrary UTF-8), which must be escaped per the exposition format —
+// %q Go-quoting is close but not identical (it escapes non-ASCII,
+// which Prometheus forbids changing), so scrapers choke on it.
+
+// PromName sanitizes s into a legal Prometheus metric name: every rune
+// outside [a-zA-Z0-9_:] becomes '_', and a leading digit gains a '_'
+// prefix.
+func PromName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i, r := range s {
+		legal := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if legal {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// PromLabel escapes s for use inside a label value's double quotes:
+// backslash, double quote, and newline get backslash escapes; every
+// other byte — including non-ASCII UTF-8 — passes through verbatim, as
+// the exposition format requires.
+func PromLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// promFamily writes one metric family header.
+func promFamily(w io.Writer, name, typ, help string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	return err
+}
+
+// WriteProm renders the snapshot in Prometheus exposition format:
+// counters as "<prefix><name>_total", gauges as "<prefix><name>", and
+// histograms as cumulative "_bucket"/"_sum"/"_count" families, names
+// sanitized through PromName and sorted so output is diff-stable.
+func (s Snapshot) WriteProm(w io.Writer, prefix string) error {
+	for _, k := range s.Keys() {
+		name := PromName(prefix+k) + "_total"
+		if err := promFamily(w, name, "counter", "Counter "+k+"."); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		name := PromName(prefix + k)
+		if err := promFamily(w, name, "gauge", "Gauge "+k+"."); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		name := PromName(prefix + k)
+		if err := promFamily(w, name, "histogram", "Histogram "+k+"."); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, n := range h.Counts {
+			cum += n
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

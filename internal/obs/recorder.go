@@ -56,12 +56,28 @@ type EventSink interface {
 	RecordEvent(Event)
 }
 
+// Span is one named virtual-time interval — a trial stage (topology
+// build, handshake, strategy application, censor verdict, teardown)
+// bracketed by its begin and end on the simulation clock. Because both
+// ends are virtual timestamps, spans are bit-identical across serial
+// and parallel runs of the same seed.
+type Span struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start"`
+	End   time.Duration `json:"end"`
+}
+
+// Dur returns the span's duration.
+func (s Span) Dur() time.Duration { return s.End - s.Start }
+
 // Recorder is a bounded ring buffer of trace events — the flight
-// recorder. The buffer grows lazily up to its capacity (quiet trials
-// never pay for the full ring); once full it overwrites the oldest
-// entry, so a snapshot always holds the most recent window leading up
-// to the outcome being explained. A nil Recorder is a valid disabled
-// recorder: Record on it costs one branch.
+// recorder — plus the trial's stage spans. The buffer grows lazily up
+// to its capacity (quiet trials never pay for the full ring); once
+// full it overwrites the oldest entry, so a snapshot always holds the
+// most recent window leading up to the outcome being explained. Spans
+// are few (a handful per trial) and stored unbounded outside the ring,
+// so recording one never evicts an event. A nil Recorder is a valid
+// disabled recorder: Record and AddSpan on it cost one branch.
 type Recorder struct {
 	now   func() time.Duration
 	size  int
@@ -69,6 +85,7 @@ type Recorder struct {
 	next  int
 	total uint64
 	sink  EventSink
+	spans []Span
 }
 
 // NewRecorder builds a recorder holding up to size events, stamping
@@ -120,6 +137,38 @@ func (r *Recorder) RecordPkt(subsys, verb string, pkt, parent uint32, seq uint32
 		}
 	}
 	r.total++
+}
+
+// Now returns the recorder's current virtual time — the begin stamp
+// for a span the caller will later close with AddSpan. Safe on a nil
+// receiver (returns 0).
+func (r *Recorder) Now() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.now()
+}
+
+// AddSpan records one named virtual-time interval. An end before start
+// is clamped to a zero-width span rather than recording a negative
+// duration. Safe on a nil receiver.
+func (r *Recorder) AddSpan(name string, start, end time.Duration) {
+	if r == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	r.spans = append(r.spans, Span{Name: name, Start: start, End: end})
+}
+
+// Spans returns the recorded stage spans in recording order, as a copy
+// safe to hold after the trial ends. Safe on a nil receiver.
+func (r *Recorder) Spans() []Span {
+	if r == nil || len(r.spans) == 0 {
+		return nil
+	}
+	return append([]Span(nil), r.spans...)
 }
 
 // Total returns how many events were ever recorded, including evicted

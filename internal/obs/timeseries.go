@@ -1,0 +1,94 @@
+package obs
+
+import "sync"
+
+// DefaultSeriesCap bounds a TimeSeries when no capacity is configured:
+// enough for a multi-hour campaign at one-second sampling without
+// unbounded growth.
+const DefaultSeriesCap = 1024
+
+// SeriesPoint is one sample of a running campaign: wall-clock seconds
+// since the series started plus a flat name→value map. Wall time is
+// deliberately confined to this type — everything inside a trial is
+// stamped with virtual time, and only the sampler (which observes, and
+// never steers, the campaign) may look at the real clock.
+type SeriesPoint struct {
+	T      float64            `json:"t"` // seconds since series start
+	Values map[string]float64 `json:"values"`
+}
+
+// TimeSeries is a bounded, concurrency-safe ring of samples. When full
+// it drops the oldest point (counting drops), so a snapshot always
+// holds the most recent window. The sampler side takes a mutex; the
+// trial hot path never touches a TimeSeries.
+type TimeSeries struct {
+	mu      sync.Mutex
+	max     int
+	pts     []SeriesPoint
+	dropped uint64
+}
+
+// NewTimeSeries returns an empty series holding up to max points; a
+// non-positive max selects DefaultSeriesCap.
+func NewTimeSeries(max int) *TimeSeries {
+	if max <= 0 {
+		max = DefaultSeriesCap
+	}
+	return &TimeSeries{max: max}
+}
+
+// Append adds one sample, evicting the oldest when full. Safe on a nil
+// receiver.
+func (s *TimeSeries) Append(p SeriesPoint) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pts) >= s.max {
+		n := copy(s.pts, s.pts[1:])
+		s.pts = s.pts[:n]
+		s.dropped++
+	}
+	s.pts = append(s.pts, p)
+}
+
+// Len returns the number of retained samples. Safe on a nil receiver.
+func (s *TimeSeries) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pts)
+}
+
+// Snapshot copies the retained window. Safe on a nil receiver.
+func (s *TimeSeries) Snapshot() TimeSeriesSnapshot {
+	if s == nil {
+		return TimeSeriesSnapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return TimeSeriesSnapshot{
+		Points:  append([]SeriesPoint(nil), s.pts...),
+		Dropped: s.dropped,
+	}
+}
+
+// TimeSeriesSnapshot is a point-in-time copy of a series — the payload
+// of the /timeseries endpoint and the health report's throughput
+// curve.
+type TimeSeriesSnapshot struct {
+	Points []SeriesPoint `json:"points"`
+	// Dropped counts ring-evicted samples preceding Points.
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// Last returns the most recent sample (zero value when empty).
+func (s TimeSeriesSnapshot) Last() SeriesPoint {
+	if len(s.Points) == 0 {
+		return SeriesPoint{}
+	}
+	return s.Points[len(s.Points)-1]
+}

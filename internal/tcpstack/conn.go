@@ -119,6 +119,11 @@ type Conn struct {
 	// AbortReason records why the connection aborted.
 	AbortReason string
 
+	// EstablishedAt is the virtual time the connection first entered
+	// Established (zero if it never did). The experiment runner reads
+	// it to close the handshake stage span.
+	EstablishedAt time.Duration
+
 	// causeID is the causal-tracing wire ID of the most recent inbound
 	// segment this connection processed. Outgoing segments record it as
 	// their lineage parent — the proximate cause of the transmission
@@ -170,6 +175,9 @@ func (c *Conn) setState(s State) {
 	}
 	from := c.state
 	c.state = s
+	if s == Established && c.EstablishedAt == 0 {
+		c.EstablishedAt = c.stack.Sim.Now()
+	}
 	if c.stack.Obs != nil {
 		// State transitions are the tcpstack half of the censor-state
 		// audit: keyed to the inbound segment that drove them.

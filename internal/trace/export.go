@@ -30,20 +30,27 @@ func (tr *Trace) WritePcap(w io.Writer) error {
 // jsonlLine is the tagged union the JSONL export emits: one meta line,
 // then every packet and event merged in time order.
 type jsonlLine struct {
-	Type   string        `json:"type"` // "meta", "packet", "event"
+	Type   string        `json:"type"` // "meta", "span", "packet", "event"
 	Meta   *Meta         `json:"meta,omitempty"`
+	Span   *obs.Span     `json:"span,omitempty"`
 	Packet *PacketRecord `json:"packet,omitempty"`
 	Event  *obs.Event    `json:"event,omitempty"`
 }
 
-// WriteJSONL emits the trace as line-delimited JSON: a meta line
-// followed by packet and event lines merged chronologically, so the
-// file reads top-to-bottom as the trial's causal log.
+// WriteJSONL emits the trace as line-delimited JSON: a meta line and
+// the stage spans, followed by packet and event lines merged
+// chronologically, so the file reads top-to-bottom as the trial's
+// causal log.
 func (tr *Trace) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	if err := enc.Encode(jsonlLine{Type: "meta", Meta: &tr.Meta}); err != nil {
 		return err
+	}
+	for i := range tr.Spans {
+		if err := enc.Encode(jsonlLine{Type: "span", Span: &tr.Spans[i]}); err != nil {
+			return err
+		}
 	}
 	pi, ei := 0, 0
 	for pi < len(tr.Packets) || ei < len(tr.Events) {
@@ -65,23 +72,26 @@ func (tr *Trace) WriteJSONL(w io.Writer) error {
 }
 
 // chromeEvent is one entry of the Chrome trace-event format
-// (chrome://tracing, Perfetto). All simulation events are instants.
+// (chrome://tracing, Perfetto). Simulation events are instants (phase
+// "i"); stage spans are complete events (phase "X" with a duration).
 type chromeEvent struct {
 	Name  string         `json:"name"`
 	Cat   string         `json:"cat,omitempty"`
 	Phase string         `json:"ph"`
 	TS    float64        `json:"ts"` // microseconds, fractional
+	Dur   float64        `json:"dur,omitempty"`
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
 }
 
-// WriteChrome emits the trace in Chrome trace-event JSON: one thread
-// lane per subsystem plus a "wire" lane for packet transmissions, so
-// the causal structure is visible on a shared time axis in
-// chrome://tracing or Perfetto.
+// WriteChrome emits the trace in Chrome trace-event JSON: a "stages"
+// lane of span bars, one thread lane per subsystem, plus a "wire" lane
+// for packet transmissions, so the causal structure is visible on a
+// shared time axis in chrome://tracing or Perfetto.
 func (tr *Trace) WriteChrome(w io.Writer) error {
+	const stagesTID = 0
 	const wireTID = 1
 	tids := map[string]int{}
 	tidOf := func(subsys string) int {
@@ -94,6 +104,12 @@ func (tr *Trace) WriteChrome(w io.Writer) error {
 	}
 	var evs []chromeEvent
 	ts := func(t time.Duration) float64 { return float64(t.Nanoseconds()) / 1e3 }
+	for _, sp := range tr.Spans {
+		evs = append(evs, chromeEvent{
+			Name: sp.Name, Cat: "stage", Phase: "X",
+			TS: ts(sp.Start), Dur: ts(sp.Dur()), PID: 1, TID: stagesTID,
+		})
+	}
 	for i := range tr.Packets {
 		p := &tr.Packets[i]
 		args := map[string]any{
@@ -132,6 +148,9 @@ func (tr *Trace) WriteChrome(w io.Writer) error {
 	}
 	// Thread-name metadata rows label the lanes.
 	meta := []chromeEvent{{
+		Name: "thread_name", Phase: "M", PID: 1, TID: stagesTID,
+		Args: map[string]any{"name": "stages"},
+	}, {
 		Name: "thread_name", Phase: "M", PID: 1, TID: wireTID,
 		Args: map[string]any{"name": "wire"},
 	}}

@@ -38,6 +38,9 @@ type PacketRecord struct {
 type Tracer struct {
 	Events  []obs.Event
 	Packets []PacketRecord
+
+	// rec is the tapped recorder; Finish reads its stage spans.
+	rec *obs.Recorder
 }
 
 // New returns an empty tracer.
@@ -80,6 +83,7 @@ func (t *Tracer) PathHook(prev func(netem.TraceEvent)) func(netem.TraceEvent) {
 // linear netem.Path or a graph netem.Fabric — the hook contract is the
 // same on both.
 func (t *Tracer) Attach(rec *obs.Recorder, n netem.Net) {
+	t.rec = rec
 	rec.Tap(t)
 	n.SetTraceHook(t.PathHook(n.TraceHook()))
 }
@@ -98,11 +102,15 @@ type Trace struct {
 	Meta    Meta
 	Packets []PacketRecord
 	Events  []obs.Event
+	// Spans are the trial's virtual-time stage intervals (topology
+	// build, handshake, strategy, verdict, teardown), copied from the
+	// tapped recorder at Finish.
+	Spans []obs.Span
 }
 
 // Finish freezes the tracer into a Trace carrying meta.
 func (t *Tracer) Finish(meta Meta) *Trace {
-	return &Trace{Meta: meta, Packets: t.Packets, Events: t.Events}
+	return &Trace{Meta: meta, Packets: t.Packets, Events: t.Events, Spans: t.rec.Spans()}
 }
 
 // summarize renders a one-line protocol summary of a packet.
