@@ -34,9 +34,11 @@ race:
 fuzz-smoke:
 	$(GO) test -run '^FuzzParseTopo$$' ./internal/topo
 
-# bench measures the trial hot path and the serial/parallel campaign
-# loops and writes BENCH_netem.json (ns/trial, allocs/trial, trials/sec,
-# pool traffic, and the recorded pre-pooling baseline for comparison).
+# bench measures the trial hot path, the bandwidth-constrained goodput
+# path (shaper + congestion control live, allocs recorded), and the
+# serial/parallel campaign loops, writing BENCH_netem.json (ns/trial,
+# allocs/trial, trials/sec, pool traffic, and the recorded pre-pooling
+# baseline for comparison).
 bench:
 	$(GO) run ./cmd/tables -what bench -bench-out BENCH_netem.json
 
@@ -52,13 +54,13 @@ NEW ?= BENCH_netem.json
 bench-compare:
 	$(GO) run ./cmd/tables -what bench-compare $(OLD) $(NEW)
 
-# bench-obs gates the instrumentation tax. The alloc gate asserts the
-# disabled-telemetry arm adds zero allocations over the seed hot-path
-# baseline (a hard failure, not a measurement); the benchmark then
-# reports the enabled-arm overhead, which should stay within a few
-# percent.
+# bench-obs gates the instrumentation tax. The alloc gates assert the
+# disabled-telemetry arm and the unconstrained (congestion-dormant)
+# trial add zero allocations over the seed hot-path baseline (hard
+# failures, not measurements); the benchmark then reports the
+# enabled-arm overhead, which should stay within a few percent.
 bench-obs:
-	$(GO) test -run '^TestTelemetryDisabledZeroAlloc$$' -count=1 ./internal/experiment/
+	$(GO) test -run '^TestTelemetryDisabledZeroAlloc$$|^TestCongestionDisabledZeroAlloc$$' -count=1 ./internal/experiment/
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 2s ./internal/experiment/
 
 # health-golden replays the post-campaign health report against its

@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		what      = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,health,bench,bench-compare,figures,strategies,topo")
+		what      = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,health,goodput,bench,bench-compare,figures,strategies,topo")
 		scale     = flag.String("scale", "quick", "campaign scale: quick, mid, paper")
 		seed      = flag.Int64("seed", 42, "population/campaign seed")
 		benchOut  = flag.String("bench-out", "BENCH_netem.json", "report path for -what bench")
@@ -234,6 +234,13 @@ func main() {
 			fmt.Printf("wrote %d health artifact files under %s\n", len(paths), *healthDir)
 		}
 	}
+	// Strict equality: the goodput matrix is a congestion demo, not a
+	// paper table, so "-what all" must not pick it up.
+	if *what == "goodput" {
+		ran = true
+		r.Obs = experiment.NewObsSink()
+		experiment.WriteGoodputCampaign(os.Stdout, r, sc)
+	}
 	// Strict equality again: benchmarking is minutes of repeated
 	// campaigns, so "-what all" must not pick it up either.
 	if *what == "bench" {
@@ -300,7 +307,7 @@ func main() {
 		fmt.Println(experiment.Figure4(r))
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,health,bench,bench-compare,figures,strategies,topo\n", *what)
+		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,health,goodput,bench,bench-compare,figures,strategies,topo\n", *what)
 		os.Exit(2)
 	}
 }

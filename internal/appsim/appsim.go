@@ -42,6 +42,45 @@ func HTTPRequest(host, uri string) []byte {
 	return []byte(fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\nUser-Agent: intango\r\nAccept: */*\r\n\r\n", uri, host))
 }
 
+// HTTPUpload renders a POST of size deterministic body bytes against
+// host — the client half of the goodput experiments, which measure how
+// much of a constrained uplink an evasion strategy leaves for data.
+func HTTPUpload(host, uri string, size int) []byte {
+	head := fmt.Sprintf("POST %s HTTP/1.1\r\nHost: %s\r\nUser-Agent: intango\r\nContent-Length: %d\r\n\r\n", uri, host, size)
+	req := make([]byte, 0, len(head)+size)
+	req = append(req, head...)
+	for i := 0; i < size; i++ {
+		req = append(req, 'a'+byte(i%26))
+	}
+	return req
+}
+
+// ServeHTTPUpload installs an HTTP/1.1 server that consumes a POST
+// body of the declared Content-Length and answers 200 once the upload
+// is complete. Like ServeHTTP, the response never echoes the request.
+func ServeHTTPUpload(stack *tcpstack.Stack, port uint16) {
+	stack.Listen(port, func(c *tcpstack.Conn) {
+		served := 0
+		c.OnData = func([]byte) {
+			buf := c.Received()[served:]
+			if !HTTPResponseComplete(buf) {
+				// Same framing rule as a response: headers plus declared
+				// body length. Incomplete upload — keep reading.
+				return
+			}
+			idx := bytes.Index(buf, []byte("\r\n\r\n"))
+			want := 0
+			for _, line := range strings.Split(string(buf[:idx]), "\r\n") {
+				if k, v, ok := strings.Cut(line, ":"); ok && strings.EqualFold(strings.TrimSpace(k), "content-length") {
+					fmt.Sscanf(strings.TrimSpace(v), "%d", &want)
+				}
+			}
+			served += idx + 4 + want
+			c.Write([]byte("HTTP/1.1 200 OK\r\nServer: sim\r\nContent-Length: 2\r\n\r\nok"))
+		}
+	})
+}
+
 // HTTPResponseComplete reports whether buf contains a complete HTTP
 // response (headers plus declared body).
 func HTTPResponseComplete(buf []byte) bool {

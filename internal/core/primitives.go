@@ -234,7 +234,13 @@ const (
 // to split.
 type FragmentAction struct {
 	Layer FragLayer
-	At    int // TCP split offset; ignored for LayerIP
+	// At is the TCP split offset for LayerTCP. For LayerIP it sets the
+	// fragment data size in bytes (rounded down to the 8-byte fragment
+	// grid); zero keeps the default header-sized fragments, whose head
+	// carries no payload at all. Larger chunks trade that property for
+	// fewer fragments — what a sustained per-segment strategy needs to
+	// survive a finite router queue.
+	At int
 }
 
 func (a FragmentAction) apply(pl *plan) {
@@ -248,8 +254,12 @@ func (a FragmentAction) apply(pl *plan) {
 		case LayerIP:
 			// Fragment so the first fragment carries only the TCP
 			// header: all payload bytes (and hence the keyword, wherever
-			// it sits) land in later fragments.
+			// it sits) land in later fragments. An explicit At overrides
+			// the chunk size (never below the header grid).
 			maxData := (pkt.TCP.HeaderLen() + 7) &^ 7
+			if d := a.At &^ 7; d > maxData {
+				maxData = d
+			}
 			fr, err := packet.Fragment(pkt, packet.IPv4HeaderLen+maxData)
 			if err != nil || len(fr) < 2 {
 				return
@@ -298,6 +308,9 @@ func (a FragmentAction) encode() string {
 			at = 4
 		}
 		return "fragment(tcp,at=" + strconv.Itoa(at) + ")"
+	}
+	if a.At > 0 {
+		return "fragment(ip,at=" + strconv.Itoa(a.At) + ")"
 	}
 	return "fragment(ip)"
 }

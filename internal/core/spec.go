@@ -404,9 +404,6 @@ func buildAction(name string, args []specArg) (Action, error) {
 		if !laySet {
 			return bad("missing layer (ip or tcp)")
 		}
-		if act.Layer == LayerIP && act.At != 0 {
-			return bad("at= only applies to tcp fragmentation")
-		}
 		if act.Layer == LayerTCP && act.At == 0 {
 			act.At = 4
 		}

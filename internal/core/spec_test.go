@@ -90,6 +90,7 @@ func TestParseSpecNormalizes(t *testing.T) {
 		{"on:segment[fragment(tcp)]", "on:segment[fragment(tcp,at=4)]"},
 		{"on:payload[inject(desync,disc=none)]", "on:payload[inject(desync)]"},
 		{"on:payload[tamper(seq=8)]", "on:payload[tamper(seq=+8)]"},
+		{"on:payload[fragment(ip,at=512)]", "on:payload[fragment(ip,at=512)]"},
 	} {
 		got, err := ParseSpec(tc.in)
 		if err != nil {
@@ -123,8 +124,8 @@ func TestParseSpecErrors(t *testing.T) {
 		{"on:first-payload[teardown(flags=syn)]", `spec: teardown: unknown flags "syn"`},
 		{"on:first-payload[fragment]", "spec: fragment: missing layer (ip or tcp)"},
 		{"on:first-payload[fragment(udp)]", `spec: fragment: unknown layer "udp"`},
-		{"on:first-payload[fragment(ip,at=4)]", "spec: fragment: at= only applies to tcp fragmentation"},
 		{"on:first-payload[fragment(tcp,at=0)]", `spec: fragment: bad at "0"`},
+		{"on:first-payload[fragment(ip,at=0)]", `spec: fragment: bad at "0"`},
 		{"on:first-payload[reorder]", "spec: reorder: want reorder(head-last)"},
 		{"on:first-payload[duplicate(fill=junk)]", "spec: duplicate: missing selector (tails)"},
 		{"on:first-payload[duplicate(tails,pos=middle)]", `spec: duplicate: unknown pos "middle"`},

@@ -86,6 +86,11 @@ type BenchReport struct {
 	// Trial is one RunOne (handshake, strategy volley, fetch,
 	// classification) — the unit every campaign multiplies.
 	Trial BenchResult `json:"trial"`
+	// GoodputTrial is one bandwidth-constrained upload through the
+	// congestion machinery (token-bucket shaper, finite queue, cwnd) —
+	// the allocation cost of the goodput path when it is actually
+	// exercised. Absent from pre-congestion reports.
+	GoodputTrial BenchResult `json:"goodput_trial,omitempty"`
 	// CampaignSerial/CampaignParallel run the full Table 1 strategy
 	// grid at BenchCampaignScale per op.
 	CampaignSerial   BenchResult `json:"campaign_serial"`
@@ -141,6 +146,22 @@ func RunBench(seed int64) BenchReport {
 		}
 	})
 	rep.Trial = toBenchResult(trialRes, 0) // trials/sec is a campaign-level figure
+
+	// Goodput path: one 64 KiB upload through the bw=1mbit,queue=16
+	// access link, congestion control and the shaper both live.
+	goodputRes := testing.Benchmark(func(b *testing.B) {
+		r := NewRunner(seed)
+		vp := VantagePoints()[6]
+		srv := goodputServers(r, 1)[0]
+		s := goodputStrategies()[2] // an inject strategy: the plain congested transfer
+		r.Topo = goodputTopo(vp, srv)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.runGoodputTrial(vp, srv, s.factory, i, nil)
+		}
+	})
+	rep.GoodputTrial = toBenchResult(goodputRes, 0)
 
 	sc := BenchCampaignScale()
 	rep.TrialsPerCampaignOp = 2 * len(table1Strategies()) * sc.VPs * sc.Servers * sc.Trials
@@ -219,6 +240,11 @@ func FormatBenchReport(rep BenchReport) string {
 		rep.GoVersion, rep.GOOS, rep.GOARCH, rep.NumCPU, rep.Seed)
 	fmt.Fprintf(&b, "baseline: %s\n", rep.Baseline.Commit)
 	benchLine(&b, "trial", rep.Trial, rep.Baseline.Trial)
+	if rep.GoodputTrial.NsPerOp > 0 {
+		// No pre-congestion baseline exists for the goodput path; the
+		// line still records ns/op and allocs/op for bench-compare.
+		benchLine(&b, "goodput trial", rep.GoodputTrial, BenchResult{})
+	}
 	benchLine(&b, "campaign/serial", rep.CampaignSerial, rep.Baseline.CampaignSerial)
 	benchLine(&b, "campaign/parallel", rep.CampaignParallel, rep.Baseline.CampaignParallel)
 	fmt.Fprintf(&b, "  %-18s serial %.0f trials/s, parallel %.0f trials/s (%d trials per campaign op)\n",
@@ -253,6 +279,9 @@ func CompareBenchReports(oldRep, newRep BenchReport) string {
 			strings.TrimSpace(pctDelta(float64(o.AllocsPerOp), float64(n.AllocsPerOp))))
 	}
 	row("trial", oldRep.Trial, newRep.Trial)
+	if oldRep.GoodputTrial.NsPerOp > 0 || newRep.GoodputTrial.NsPerOp > 0 {
+		row("goodput trial", oldRep.GoodputTrial, newRep.GoodputTrial)
+	}
 	row("campaign/serial", oldRep.CampaignSerial, newRep.CampaignSerial)
 	row("campaign/parallel", oldRep.CampaignParallel, newRep.CampaignParallel)
 	if oldRep.CampaignParallel.TrialsPerSec > 0 && newRep.CampaignParallel.TrialsPerSec > 0 {

@@ -25,6 +25,11 @@ func TestTablesMatchGolden(t *testing.T) {
 		{"testdata/table1.golden", func(w *bytes.Buffer) { WriteTable1Campaign(w, NewRunner(42), QuickScale()) }},
 		{"testdata/table4.golden", func(w *bytes.Buffer) { WriteTable4Campaign(w, NewRunner(42), QuickScale()) }},
 		{"testdata/table5.golden", func(w *bytes.Buffer) { WriteTable5Campaign(w, NewRunner(42)) }},
+		{"testdata/goodput.golden", func(w *bytes.Buffer) {
+			r := NewRunner(42)
+			r.Obs = NewObsSink()
+			WriteGoodputCampaign(w, r, QuickScale())
+		}},
 	} {
 		want, err := os.ReadFile(tc.golden)
 		if err != nil {

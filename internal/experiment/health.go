@@ -33,6 +33,7 @@ type HealthReport struct {
 	Strategies []StrategyHealth  `json:"strategies,omitempty"`
 	Throughput []ThroughputPoint `json:"throughput,omitempty"`
 	Stages     []StageLatency    `json:"stages,omitempty"`
+	Goodput    *GoodputHealth    `json:"goodput,omitempty"`
 	Evictions  []EvictionRate    `json:"evictions,omitempty"`
 
 	Pool          PoolHealth `json:"pool"`
@@ -63,6 +64,16 @@ type StageLatency struct {
 	P50MS  float64 `json:"p50_ms"`
 	P90MS  float64 `json:"p90_ms"`
 	P99MS  float64 `json:"p99_ms"`
+}
+
+// GoodputHealth summarises the goodput.bps histogram — present only
+// when the campaign measured goodput (the congestion matrix), absent
+// otherwise so existing health artifacts are byte-identical.
+type GoodputHealth struct {
+	Transfers uint64  `json:"transfers"`
+	MeanBps   float64 `json:"mean_bps"`
+	P50Bps    uint64  `json:"p50_bps"`
+	P90Bps    uint64  `json:"p90_bps"`
 }
 
 // PoolHealth summarises packet-pool recycling over the campaign.
@@ -114,6 +125,14 @@ func (r *Runner) BuildHealthReport(campaign string, wall time.Duration) HealthRe
 		snap := r.Obs.Snapshot()
 		h.Trials = r.Obs.Trials()
 		h.Stages = stageLatencies(snap)
+		if hs, ok := snap.Histograms["goodput.bps"]; ok && hs.Count > 0 {
+			h.Goodput = &GoodputHealth{
+				Transfers: hs.Count,
+				MeanBps:   hs.Mean(),
+				P50Bps:    hs.Quantile(0.50),
+				P90Bps:    hs.Quantile(0.90),
+			}
+		}
 		h.Evictions = evictionRates(snap, h.Trials)
 	} else if final, ok := r.FinalProgress(); ok {
 		h.Trials = int(final.Done)
@@ -232,6 +251,10 @@ func FormatHealth(h HealthReport) string {
 			fmt.Fprintf(&b, "  %-10s %8d %9.3f %8.0f %8.0f %8.0f\n",
 				st.Stage, st.Count, st.MeanMS, st.P50MS, st.P90MS, st.P99MS)
 		}
+	}
+	if g := h.Goodput; g != nil {
+		fmt.Fprintf(&b, "goodput: %d transfers, mean=%.0f bps, p50<=%d p90<=%d (bucket bounds)\n",
+			g.Transfers, g.MeanBps, g.P50Bps, g.P90Bps)
 	}
 	fmt.Fprintf(&b, "packet pool: gets=%d news=%d recycled=%d (%.1f%%)\n",
 		h.Pool.Gets, h.Pool.News, h.Pool.Recycled, h.Pool.RecycledPct)

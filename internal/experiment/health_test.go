@@ -33,6 +33,7 @@ func healthFixture() HealthReport {
 			{Stage: "verdict", Count: 616, MeanMS: 903.2, P50MS: 1000, P90MS: 2000, P99MS: 5000},
 			{Stage: "teardown", Count: 616, MeanMS: 12.1, P50MS: 10, P90MS: 20, P99MS: 50},
 		},
+		Goodput: &GoodputHealth{Transfers: 60, MeanBps: 612345.5, P50Bps: 500_000, P90Bps: 1_000_000},
 		Evictions: []EvictionRate{
 			{Counter: "gfw.frag-evict", Count: 12, PerTrial: 12.0 / 616.0},
 		},

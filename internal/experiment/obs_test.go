@@ -120,6 +120,45 @@ func TestObsSerialParallelDeterminism(t *testing.T) {
 		t.Error("graph campaign produced identical rows to the linear campaign; graph arm is vacuous")
 	}
 
+	// And over a bandwidth-constrained topology: token-bucket shaping,
+	// a tight router queue, and the congestion machinery it wakes up
+	// (tail drops, retransmission timers, cwnd state) are all integer
+	// virtual-time arithmetic, so serial vs parallel must remain
+	// bit-identical with queues overflowing.
+	bwSpec := derivedSpec(shapeKey(VantagePoints()[0], Servers(1, NewRunner(42).Cal, 42)[0], 5))
+	for i := range bwSpec.Links {
+		if bwSpec.Links[i].From == "c" || bwSpec.Links[i].To == "c" {
+			bwSpec.Links[i].RateBits = 56_000
+			bwSpec.Links[i].Queue = 4
+		}
+	}
+	runBW := func(workers int) ([]Table1Row, *ObsSink) {
+		r := NewRunner(42)
+		r.Workers = workers
+		r.Topo = bwSpec.String()
+		r.Obs = NewObsSink()
+		rows := RunTable1Parallel(r, scale)
+		return rows, r.Obs
+	}
+	rowsBS, obsBS := runBW(1)
+	rowsBP, obsBP := runBW(8)
+	if !reflect.DeepEqual(rowsBS, rowsBP) {
+		t.Errorf("bw-constrained serial/parallel rows differ:\nserial: %+v\nparallel: %+v", rowsBS, rowsBP)
+	}
+	if !reflect.DeepEqual(obsBS.Snapshot().Counters, obsBP.Snapshot().Counters) {
+		t.Errorf("bw-constrained serial/parallel counters differ:\nserial: %v\nparallel: %v",
+			obsBS.Snapshot().Counters, obsBP.Snapshot().Counters)
+	}
+	if !reflect.DeepEqual(obsBS.Failures(), obsBP.Failures()) {
+		t.Errorf("bw-constrained serial/parallel failure traces differ")
+	}
+	if obsBS.Snapshot().Counters["netem.drop-queue"] == 0 {
+		t.Error("bw-constrained campaign saw no queue drops; congestion arm is vacuous")
+	}
+	if reflect.DeepEqual(rowsBS, rowsSerial) {
+		t.Error("bw-constrained campaign produced identical rows to the unshaped campaign; arm is vacuous")
+	}
+
 	// Traced vs untraced over the graph: attaching the packet tracer
 	// (which suppresses pool recycling on the fabric) must not perturb
 	// the outcome, the flight-recorder stream, or the lineage wire IDs

@@ -49,6 +49,12 @@ type Link struct {
 	// this link's egress (traced as "drop-mtu"). The fabric does not
 	// auto-fragment; senders must fragment deliberately.
 	MTU int
+	// Rate, when nonzero, caps this direction at that many bits per
+	// second: packets serialize through a finite FIFO of Queue packets
+	// (DefaultQueueLimit when zero) with tail-drop, or RED when set.
+	Rate  int64
+	Queue int
+	RED   bool
 }
 
 // linkKey identifies a directed edge.
@@ -84,6 +90,11 @@ type Fabric struct {
 	lastAt   time.Duration
 	lineageN uint32
 	ctx      Context
+
+	// shapers holds the lazily built token buckets of rated links,
+	// keyed by directed edge; nil until the first packet crosses one,
+	// so unshaped fabrics allocate nothing extra.
+	shapers map[linkKey]*linkShaper
 }
 
 // NewFabric returns an empty fabric bound to sim.
@@ -311,7 +322,26 @@ func (f *Fabric) emitFrom(from int, dir Direction, pkt *packet.Packet, extraDela
 		f.release(pkt)
 		return
 	}
-	f.Sim.AtPacket(extraDelay+l.Latency, f, pkt, from, dir)
+	delay := extraDelay + l.Latency
+	if l.Rate > 0 {
+		key := linkKey{from, next}
+		sh := f.shapers[key]
+		if sh == nil {
+			if f.shapers == nil {
+				f.shapers = make(map[linkKey]*linkShaper)
+			}
+			sh = newLinkShaper(l.Rate, l.Queue, l.RED)
+			f.shapers[key] = sh
+		}
+		qd, ev := sh.admit(f.Sim, wireSize(pkt))
+		if ev >= 0 {
+			f.trace(f.name(from), ev, dir, pkt)
+			f.release(pkt)
+			return
+		}
+		delay += qd
+	}
+	f.Sim.AtPacket(delay, f, pkt, from, dir)
 }
 
 // HandlePacket implements PacketHandler: pkt finished crossing the
@@ -514,6 +544,15 @@ func (f *Fabric) Describe() string {
 		}
 		if l.MTU > 0 {
 			fmt.Fprintf(&b, ",mtu=%d", l.MTU)
+		}
+		if l.Rate > 0 {
+			fmt.Fprintf(&b, ",bw=%s", FormatRate(l.Rate))
+			if l.Queue > 0 {
+				fmt.Fprintf(&b, ",queue=%d", l.Queue)
+			}
+			if l.RED {
+				b.WriteString(",red")
+			}
 		}
 		b.WriteString(")")
 	}

@@ -80,6 +80,13 @@ type Hop struct {
 	// next element (the next hop, or the server after the last hop).
 	Latency  time.Duration
 	LossRate float64
+	// Rate, when nonzero, caps the link at that many bits per second:
+	// packets serialize through a finite FIFO of Queue packets
+	// (DefaultQueueLimit when zero) with tail-drop, or RED when set.
+	// Both directions of the link shape independently (full duplex).
+	Rate  int64
+	Queue int
+	RED   bool
 }
 
 // Path is a linear client—hops—server topology bound to a simulator.
@@ -89,9 +96,13 @@ type Path struct {
 	Client Endpoint
 	Server Endpoint
 	// ClientLink is the link between the client and the first hop.
+	// Rate/Queue/RED shape it exactly as on a Hop.
 	ClientLink struct {
 		Latency  time.Duration
 		LossRate float64
+		Rate     int64
+		Queue    int
+		RED      bool
 	}
 	// Trace, when set, observes every packet event on the path.
 	Trace func(ev TraceEvent)
@@ -133,6 +144,15 @@ type Path struct {
 	// it keeps arrive allocation-free. Processors must not retain it
 	// past their Process call (the prober copies it before scheduling).
 	ctx Context
+
+	// shapers holds the lazily built per-link per-direction token
+	// buckets, indexed by physical link (0 = client link, i+1 = the
+	// link leaving hop i). It stays nil — and emit stays two boolean
+	// loads — on paths where no link sets a Rate. shapeChk/shaped
+	// memoize the scan so it runs once per path.
+	shapers  [][2]*linkShaper
+	shapeChk bool
+	shaped   bool
 }
 
 // TraceEvent is one observable packet event.
@@ -223,6 +243,8 @@ const (
 	evDropIPck
 	evDropIPOpt
 	evDropMTU
+	evDropQueue
+	evDropRED
 	numPathEvents
 )
 
@@ -230,12 +252,14 @@ const (
 var pathEventLabels = [numPathEvents]string{
 	"send", "fwd", "deliver", "inject", "drop-loss",
 	"drop-ttl", "drop-proc", "drop-ipck", "drop-ipopt", "drop-mtu",
+	"drop-queue", "drop-red",
 }
 
 // pathEventCounters are the registry counter names, indexed by event.
 var pathEventCounters = [numPathEvents]string{
 	"netem.send", "netem.fwd", "netem.deliver", "netem.inject", "netem.drop-loss",
 	"netem.drop-ttl", "netem.drop-proc", "netem.drop-ipck", "netem.drop-ipopt", "netem.drop-mtu",
+	"netem.drop-queue", "netem.drop-red",
 }
 
 func (p *Path) trace(where string, ev int, dir Direction, pkt *packet.Packet) {
@@ -363,17 +387,85 @@ func (p *Path) linkFrom(idx int, dir Direction) (time.Duration, float64) {
 	return p.Hops[idx-1].Latency, p.Hops[idx-1].LossRate
 }
 
+// linkID maps (element, direction) to the physical link index: 0 is
+// the client link, i+1 the link leaving hop i toward the server.
+func (p *Path) linkID(from int, dir Direction) int {
+	if dir == ToServer {
+		return from + 1
+	}
+	if from <= 0 {
+		return 0
+	}
+	return from
+}
+
+// shaperAt returns the token bucket for the link leaving element from
+// in direction dir, building it on first use; nil when that link (or
+// the whole path) is unrated. The first call scans the path once and
+// memoizes the answer, so unshaped paths pay two boolean loads per
+// emission and allocate nothing.
+func (p *Path) shaperAt(from int, dir Direction) *linkShaper {
+	if !p.shapeChk {
+		p.shapeChk = true
+		p.shaped = p.ClientLink.Rate > 0
+		for _, h := range p.Hops {
+			if h.Rate > 0 {
+				p.shaped = true
+			}
+		}
+		if p.shaped {
+			p.shapers = make([][2]*linkShaper, len(p.Hops)+1)
+		}
+	}
+	if !p.shaped {
+		return nil
+	}
+	id := p.linkID(from, dir)
+	if sh := p.shapers[id][dir]; sh != nil {
+		return sh
+	}
+	var rate int64
+	var queue int
+	var red bool
+	if id == 0 {
+		rate, queue, red = p.ClientLink.Rate, p.ClientLink.Queue, p.ClientLink.RED
+	} else {
+		h := p.Hops[id-1]
+		rate, queue, red = h.Rate, h.Queue, h.RED
+	}
+	if rate <= 0 {
+		return nil
+	}
+	sh := newLinkShaper(rate, queue, red)
+	p.shapers[id][dir] = sh
+	return sh
+}
+
 // emit schedules pkt's traversal of the link leaving element from in
 // direction dir, then processing at the next element. inject marks
 // mid-path injections (forged packets, rebuilt datagrams, ICMP). The
 // traversal rides a monomorphic packet event (AtPacket) rather than a
-// closure, so steady-state emission allocates nothing.
+// closure, so steady-state emission allocates nothing. On a rated
+// link the token bucket adds queueing+serialization delay ahead of
+// the propagation latency, or drops the packet at a full queue.
 func (p *Path) emit(from int, dir Direction, pkt *packet.Packet, extraDelay time.Duration, inject bool) {
 	if inject && from >= 0 && from < p.serverIndex() {
 		p.trace(p.Hops[from].Name, evInject, dir, pkt)
 	}
 	lat, _ := p.linkFrom(from, dir)
-	p.Sim.AtPacket(extraDelay+lat, p, pkt, from, dir)
+	delay := extraDelay + lat
+	if p.shaped || !p.shapeChk {
+		if sh := p.shaperAt(from, dir); sh != nil {
+			qd, ev := sh.admit(p.Sim, wireSize(pkt))
+			if ev >= 0 {
+				p.trace(p.elementName(from), ev, dir, pkt)
+				p.release(pkt)
+				return
+			}
+			delay += qd
+		}
+	}
+	p.Sim.AtPacket(delay, p, pkt, from, dir)
 }
 
 // HandlePacket implements PacketHandler: the packet has finished

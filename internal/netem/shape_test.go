@@ -1,0 +1,117 @@
+package netem
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"intango/internal/packet"
+)
+
+// mkSeg builds a bare client→server TCP packet (40 wire bytes).
+func mkSeg(t *testing.T) *packet.Packet {
+	t.Helper()
+	return packet.NewTCP(cliAddr, 4000, srvAddr, 80, packet.FlagACK, 1, 1, nil)
+}
+
+func TestShapedPathSerializesBackToBack(t *testing.T) {
+	s := NewSimulator(1)
+	p := newTestPath(s, 1)
+	// 40-byte packets at 320 kbit/s serialize in exactly 1ms each.
+	rate := int64(8 * 1000 * wireSize(mkSeg(t)))
+	p.ClientLink.Rate = rate
+	var arrivals []time.Duration
+	p.Server = EndpointFunc(func(pkt *packet.Packet) { arrivals = append(arrivals, s.Now()) })
+	for i := 0; i < 3; i++ {
+		p.SendFromClient(mkSeg(t))
+	}
+	s.Run(100)
+	// Client link: 1ms propagation + n×1ms serialization; hop link: 1ms.
+	want := []time.Duration{3 * time.Millisecond, 4 * time.Millisecond, 5 * time.Millisecond}
+	if len(arrivals) != len(want) {
+		t.Fatalf("delivered %d packets, want %d", len(arrivals), len(want))
+	}
+	for i, at := range arrivals {
+		if at != want[i] {
+			t.Fatalf("packet %d delivered at %v, want %v", i, at, want[i])
+		}
+	}
+}
+
+func TestShapedPathTailDrop(t *testing.T) {
+	s := NewSimulator(1)
+	p := newTestPath(s, 1)
+	p.ClientLink.Rate = 1000 // 40ms more per 40-byte packet: all five queue
+	p.ClientLink.Queue = 2
+	delivered := 0
+	p.Server = EndpointFunc(func(pkt *packet.Packet) { delivered++ })
+	for i := 0; i < 5; i++ {
+		p.SendFromClient(mkSeg(t))
+	}
+	s.Run(100)
+	if delivered != 2 {
+		t.Fatalf("delivered %d packets, want 2 (queue limit)", delivered)
+	}
+	if got := p.counts[evDropQueue]; got != 3 {
+		t.Fatalf("drop-queue count = %d, want 3", got)
+	}
+}
+
+func TestUnratedPathAllocatesNoShapers(t *testing.T) {
+	s := NewSimulator(1)
+	p := newTestPath(s, 2)
+	p.Server = EndpointFunc(func(pkt *packet.Packet) {})
+	p.SendFromClient(mkSeg(t))
+	s.Run(100)
+	if p.shapers != nil {
+		t.Fatal("unrated path built shaper state")
+	}
+	if !p.shapeChk || p.shaped {
+		t.Fatalf("shapeChk=%v shaped=%v, want memoized unshaped", p.shapeChk, p.shaped)
+	}
+}
+
+func TestShapedFabricSerializesAndDescribes(t *testing.T) {
+	s := NewSimulator(1)
+	f := NewFabric(s)
+	c := f.AddNode(&Node{Name: "c"})
+	r := f.AddNode(&Node{Name: "r", Router: true})
+	v := f.AddNode(&Node{Name: "v"})
+	rate := int64(8 * 1000 * wireSize(mkSeg(t)))
+	f.Connect(c, r, Link{Latency: time.Millisecond, Rate: rate, Queue: 16})
+	f.Connect(r, c, Link{Latency: time.Millisecond})
+	f.Connect(r, v, Link{Latency: time.Millisecond})
+	f.Connect(v, r, Link{Latency: time.Millisecond})
+	f.SetClientNode(c)
+	f.SetServerNode(v)
+	if err := f.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	var arrivals []time.Duration
+	f.Server = EndpointFunc(func(pkt *packet.Packet) { arrivals = append(arrivals, s.Now()) })
+	for i := 0; i < 2; i++ {
+		f.SendFromClient(mkSeg(t))
+	}
+	s.Run(100)
+	want := []time.Duration{3 * time.Millisecond, 4 * time.Millisecond}
+	if len(arrivals) != 2 || arrivals[0] != want[0] || arrivals[1] != want[1] {
+		t.Fatalf("arrivals = %v, want %v", arrivals, want)
+	}
+	if d := f.Describe(); !strings.Contains(d, "c>r(1ms,bw=320kbit,queue=16)") {
+		t.Fatalf("Describe missing shaped link attrs: %s", d)
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	cases := map[int64]string{
+		1_000_000:     "1mbit",
+		500_000:       "500kbit",
+		2_000_000_000: "2gbit",
+		12_345:        "12345bit",
+	}
+	for bits, want := range cases {
+		if got := FormatRate(bits); got != want {
+			t.Errorf("FormatRate(%d) = %q, want %q", bits, got, want)
+		}
+	}
+}

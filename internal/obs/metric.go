@@ -59,6 +59,24 @@ var DefaultDurationBuckets = []uint64{
 	uint64(10 * time.Second),
 }
 
+// GoodputBuckets are the fixed histogram bounds for per-trial goodput
+// observations, in bits per second of virtual time: 16 kbit/s to
+// 128 mbit/s log-spaced, bracketing everything from a saturated
+// 1 mbit constrained uplink down to a duplicate-heavy strategy
+// wasting most of it.
+var GoodputBuckets = []uint64{
+	16_000, 32_000, 64_000, 125_000, 250_000, 500_000,
+	1_000_000, 2_000_000, 4_000_000, 8_000_000,
+	16_000_000, 32_000_000, 64_000_000, 128_000_000,
+}
+
+// TransferBuckets are the fixed histogram bounds for per-trial
+// delivered-byte counts: 1 KiB to 1 MiB in powers of two.
+var TransferBuckets = []uint64{
+	1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10,
+	64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20,
+}
+
 // Histogram is a fixed-bucket distribution: bounds are inclusive upper
 // limits chosen at registration and never change, so per-worker shards
 // always share a bucket layout and merging is bucket-wise addition —

@@ -99,6 +99,37 @@ type Conn struct {
 	rtxTimer int // generation counter to invalidate stale timers
 	rto      time.Duration
 
+	// RFC 6298 RTT estimation. One segment is timed at a time (Karn's
+	// algorithm): rttTiming marks a measurement in progress for the
+	// segment ending at rttSeq, started at rttAt; retransmitting
+	// anything cancels it.
+	srtt, rttvar time.Duration
+	rttTiming    bool
+	rttSeq       packet.Seq
+	rttAt        time.Duration
+
+	// Congestion control (see congestion.go): cwnd/ssthresh in bytes,
+	// duplicate-ACK counting toward fast retransmit, and the NewReno
+	// recovery point. CUBIC keeps its plateau and epoch here too.
+	cwnd       int
+	ssthresh   int
+	dupAcks    int
+	inRecovery bool
+	recover    packet.Seq
+	cubicWMax  float64
+	cubicK     float64
+	cubicEpoch time.Duration
+
+	// Persist timer for zero-window probing (see congestion.go).
+	// probeOut marks one byte of sendBuf transmitted as a probe at
+	// probeSeq, outside the retransmission queue.
+	persistTimer int
+	persistArmed bool
+	persistRTO   time.Duration
+	probeOut     bool
+	probeSeq     packet.Seq
+	probeData    byte
+
 	// sendBuf stages data awaiting window room; peerWnd is the peer's
 	// last advertised receive window; closePending defers the FIN
 	// until sendBuf drains.
@@ -123,6 +154,13 @@ type Conn struct {
 	// Established (zero if it never did). The experiment runner reads
 	// it to close the handshake stage span.
 	EstablishedAt time.Duration
+
+	// FirstDataAt and LastDataAt bracket in-order application-data
+	// delivery in virtual time (zero if no data arrived). Together
+	// with len(Received()) they give the experiment runner per-trial
+	// goodput without touching the hot path.
+	FirstDataAt time.Duration
+	LastDataAt  time.Duration
 
 	// causeID is the causal-tracing wire ID of the most recent inbound
 	// segment this connection processed. Outgoing segments record it as
@@ -238,9 +276,24 @@ func (c *Conn) sendData(flags uint8, payload []byte) {
 	if flags&(packet.FlagSYN|packet.FlagFIN) != 0 {
 		c.sndNxt = c.sndNxt.Add(1)
 	}
-	c.armRetx()
+	if !c.rttTiming {
+		// Time one segment at a time (Karn): this transmission, acked
+		// un-retransmitted, yields the next RTT sample.
+		c.rttTiming = true
+		c.rttSeq = c.sndNxt
+		c.rttAt = c.stack.Sim.Now()
+	}
+	if len(c.retx) == 1 {
+		// The timer is anchored to the oldest unacked segment: arm on
+		// the empty→non-empty transition only, never on later sends —
+		// re-arming here on every transmission would push the oldest
+		// segment's RTO out indefinitely under sustained writes.
+		c.armRetx()
+	}
 }
 
+// armRetx (re)starts the retransmission timer for the oldest unacked
+// segment, invalidating any previously scheduled firing.
 func (c *Conn) armRetx() {
 	if len(c.retx) == 0 {
 		return
@@ -268,8 +321,15 @@ func (c *Conn) onRetxTimer(gen int) {
 		c.stack.Obs.Count("tcpstack.retransmit")
 		c.stack.Obs.Trace("tcpstack", "retransmit", uint32(seg.seq), seg.flags, "")
 	}
+	c.onRetxTimeout()
 	c.transmit(seg.flags, seg.seq, c.rcvNxt, seg.data)
 	c.rto *= 2
+	if c.stack.MaxRTO > 0 && c.rto > c.stack.MaxRTO {
+		c.rto = c.stack.MaxRTO
+		if c.stack.Obs != nil {
+			c.stack.Obs.Count("tcpstack.rto-capped")
+		}
+	}
 	c.armRetx()
 }
 
@@ -283,17 +343,19 @@ func (c *Conn) Write(data []byte) {
 	c.pump()
 }
 
-// pump transmits queued data while the peer's window has room, and the
-// deferred FIN once the queue drains.
+// pump transmits queued data while the send window (the peer's
+// advertised window capped by cwnd) has room, and the deferred FIN
+// once the queue drains. A closed peer window hands off to the
+// persist timer, whose probes discover when it reopens.
 func (c *Conn) pump() {
 	mss := c.stack.Profile.MSS
 	for len(c.sendBuf) > 0 {
-		wnd := c.peerWnd
-		if wnd <= 0 {
-			wnd = 1 // zero-window probe
+		if c.peerWnd <= 0 {
+			c.armPersist()
+			return
 		}
 		inflight := int(c.sndNxt.Diff(c.sndUna))
-		room := wnd - inflight
+		room := c.sndWnd() - inflight
 		if room <= 0 {
 			return
 		}
@@ -342,6 +404,8 @@ func (c *Conn) Abort() {
 func (c *Conn) abort(reason string) {
 	c.AbortReason = reason
 	c.rtxTimer++ // cancel timers
+	c.persistTimer++
+	c.persistArmed = false
 	c.retx = nil
 	c.setState(Closed)
 	c.stack.removeConn(c)
@@ -383,6 +447,7 @@ func (c *Conn) handleSegment(pkt *packet.Packet) {
 func (c *Conn) accept(pkt *packet.Packet) {
 	tcp := pkt.TCP
 
+	prevWnd := c.peerWnd
 	c.peerWnd = int(tcp.Window)
 
 	// Track the peer's timestamp for PAWS and echoing.
@@ -415,18 +480,39 @@ func (c *Conn) accept(pkt *packet.Packet) {
 	}
 
 	if tcp.HasFlag(packet.FlagACK) {
-		c.ackAdvance(tcp.Ack)
+		if c.isDupAck(tcp, len(pkt.Payload), prevWnd) {
+			c.onDupAck()
+		} else {
+			c.ackAdvance(tcp.Ack)
+		}
+	}
+
+	if prevWnd <= 0 && c.peerWnd > 0 {
+		// Window reopened: stop probing and resume the transfer. A pure
+		// window update acknowledges nothing, so ackAdvance would not
+		// pump.
+		c.exitPersist()
+		c.pump()
 	}
 
 	c.ingestData(pkt)
 }
 
-// ackAdvance retires retransmission state covered by ack.
+// ackAdvance retires retransmission state covered by ack, samples the
+// RTT, and updates the congestion window.
 func (c *Conn) ackAdvance(ack packet.Seq) {
 	if ack.AtOrBefore(c.sndUna) {
 		return
 	}
+	if c.rttTiming && ack.AtOrAfter(c.rttSeq) {
+		c.rttTiming = false
+		c.sampleRTT(c.stack.Sim.Now() - c.rttAt)
+	}
+	acked := int(ack.Diff(c.sndUna))
 	c.sndUna = ack
+	if c.probeOut && ack.After(c.probeSeq) {
+		c.probeOut = false // zero-window probe byte acknowledged
+	}
 	keep := c.retx[:0]
 	for _, s := range c.retx {
 		end := s.seq.Add(len(s.data))
@@ -438,7 +524,8 @@ func (c *Conn) ackAdvance(ack packet.Seq) {
 		}
 	}
 	c.retx = keep
-	c.rto = c.stack.InitialRTO
+	c.onAckAdvance(ack, acked)
+	c.rto = c.currentRTO()
 	c.rtxTimer++
 	c.armRetx()
 	c.pump()
@@ -526,6 +613,12 @@ func (c *Conn) drain() {
 				// Overlaps the edge: take the new part.
 				skip := int(c.rcvNxt.Diff(s.seq))
 				chunk := s.data[skip:]
+				if c.FirstDataAt == 0 && len(chunk) > 0 {
+					c.FirstDataAt = c.stack.Sim.Now()
+				}
+				if len(chunk) > 0 {
+					c.LastDataAt = c.stack.Sim.Now()
+				}
 				c.recvBuf = append(c.recvBuf, chunk...)
 				c.rcvNxt = c.rcvNxt.Add(len(chunk))
 				c.ooo = append(c.ooo[:i], c.ooo[i+1:]...)

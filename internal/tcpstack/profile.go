@@ -83,6 +83,11 @@ type Profile struct {
 	MSS int
 	// WindowSize is the advertised receive window.
 	WindowSize int
+
+	// Congestion selects the sender-side congestion control algorithm.
+	// The zero value is CUBIC, the Linux default since 2.6.19; older
+	// profiles set Reno.
+	Congestion CongestionAlgo
 }
 
 func baseProfile(name string) Profile {
@@ -149,6 +154,7 @@ func Linux2437() Profile {
 	p := Linux2634()
 	p.Name = "linux-2.4.37"
 	p.ValidatesMD5 = false
+	p.Congestion = CongestionReno // pre-CUBIC kernel
 	return p
 }
 

@@ -39,8 +39,13 @@ type Stack struct {
 	// AttachClient/AttachServer or set it directly.
 	Send func(pkt *packet.Packet)
 
-	// InitialRTO and MaxRetries control retransmission.
+	// InitialRTO and MaxRetries control retransmission. MinRTO and
+	// MaxRTO clamp the RFC 6298 sampled estimate: the 200ms floor
+	// matches Linux (and always binds at simulated RTTs, preserving
+	// pre-sampling timing), the 60s ceiling caps exponential backoff.
 	InitialRTO time.Duration
+	MinRTO     time.Duration
+	MaxRTO     time.Duration
 	MaxRetries int
 	// TimeWaitDuration is how long TIME_WAIT lingers before the
 	// connection entry is reclaimed.
@@ -80,6 +85,8 @@ func NewStack(addr packet.Addr, profile Profile, sim *netem.Simulator) *Stack {
 		Profile:          profile,
 		Sim:              sim,
 		InitialRTO:       200 * time.Millisecond,
+		MinRTO:           200 * time.Millisecond,
+		MaxRTO:           60 * time.Second,
 		MaxRetries:       6,
 		TimeWaitDuration: 500 * time.Millisecond,
 		conns:            make(map[connKey]*Conn),
@@ -184,6 +191,7 @@ func (s *Stack) ConnectFrom(lport uint16, raddr packet.Addr, rport uint16) *Conn
 
 func (s *Stack) newConn(lport uint16, raddr packet.Addr, rport uint16) *Conn {
 	c := &Conn{stack: s, rto: s.InitialRTO, rcvWnd: s.Profile.WindowSize}
+	c.initCongestion()
 	c.local.addr, c.local.port = s.Addr, lport
 	c.remote.addr, c.remote.port = raddr, rport
 	s.conns[connKey{lport, raddr, rport}] = c

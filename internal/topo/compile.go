@@ -130,6 +130,15 @@ func NewProgram(spec Spec) (*Program, error) {
 		if l.MTU < 0 {
 			return nil, fmt.Errorf("topo: link %s>%s: negative mtu", l.From, l.To)
 		}
+		if l.RateBits < 0 {
+			return nil, fmt.Errorf("topo: link %s>%s: negative bw", l.From, l.To)
+		}
+		if l.Queue < 0 {
+			return nil, fmt.Errorf("topo: link %s>%s: negative queue", l.From, l.To)
+		}
+		if l.RateBits == 0 && (l.Queue != 0 || l.RED) {
+			return nil, fmt.Errorf("topo: link %s>%s: queue/red require bw", l.From, l.To)
+		}
 		p.links[k] = l
 	}
 	if err := p.checkReachable(client, server); err != nil {
@@ -226,6 +235,9 @@ func (p *Program) linearChain(client, server int) []int {
 		if fw.Latency != rv.Latency || fw.Loss != rv.Loss {
 			return nil // Path links are symmetric
 		}
+		if fw.RateBits != rv.RateBits || fw.Queue != rv.Queue || fw.RED != rv.RED {
+			return nil // per-direction shaping needs the Fabric
+		}
 		if rv.MTU != 0 || (fw.MTU != 0 && i != 0) {
 			return nil // Path enforces MTU only on client egress
 		}
@@ -285,6 +297,9 @@ func (p *Program) instantiatePath(b Binder, opts Options) (netem.Net, error) {
 	cl := p.links[edge{p.chain[0], p.chain[1]}]
 	path.ClientLink.Latency = cl.Latency
 	path.ClientLink.LossRate = cl.Loss
+	path.ClientLink.Rate = cl.RateBits
+	path.ClientLink.Queue = cl.Queue
+	path.ClientLink.RED = cl.RED
 	path.MTU = cl.MTU
 	for i := 1; i+1 < len(p.chain); i++ {
 		n := p.spec.Nodes[p.chain[i]]
@@ -294,6 +309,9 @@ func (p *Program) instantiatePath(b Binder, opts Options) (netem.Net, error) {
 			Router:   n.Kind == KindRouter,
 			Latency:  fw.Latency,
 			LossRate: fw.Loss,
+			Rate:     fw.RateBits,
+			Queue:    fw.Queue,
+			RED:      fw.RED,
 		}
 		if err := bindInto(b, n.Name, n.Attach, &hop.Taps, &hop.Processors); err != nil {
 			return nil, err
@@ -323,7 +341,8 @@ func (p *Program) instantiateFabric(b Binder, opts Options) (netem.Net, error) {
 	}
 	for _, l := range p.spec.Links {
 		f.Connect(p.index[l.From], p.index[l.To],
-			netem.Link{Latency: l.Latency, LossRate: l.Loss, MTU: l.MTU})
+			netem.Link{Latency: l.Latency, LossRate: l.Loss, MTU: l.MTU,
+				Rate: l.RateBits, Queue: l.Queue, RED: l.RED})
 	}
 	if err := f.Finalize(); err != nil {
 		return nil, err

@@ -85,6 +85,34 @@ func TestCompileLinearToPath(t *testing.T) {
 	}
 }
 
+// TestCompileShapedChain verifies symmetric bandwidth attributes keep
+// the Path fast case and carry through to the substrate.
+func TestCompileShapedChain(t *testing.T) {
+	spec := "node:c(client) node:r0(router) node:s(server) " +
+		"link:c>r0(lat=1ms,bw=1mbit,queue=16,red) link:r0>c(lat=1ms,bw=1mbit,queue=16,red) " +
+		"link:r0>s(lat=1ms,bw=2mbit) link:s>r0(lat=1ms,bw=2mbit)"
+	prog, err := NewProgram(MustParseTopo(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Linear() {
+		t.Fatal("symmetric shaped chain not detected as linear")
+	}
+	n, err := prog.Instantiate(nil, Options{Sim: netem.NewSimulator(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := n.(*netem.Path)
+	if path.ClientLink.Rate != 1_000_000 || path.ClientLink.Queue != 16 || !path.ClientLink.RED {
+		t.Errorf("client link shaping = %d/%d/%v, want 1mbit/16/red",
+			path.ClientLink.Rate, path.ClientLink.Queue, path.ClientLink.RED)
+	}
+	if path.Hops[0].Rate != 2_000_000 || path.Hops[0].Queue != 0 || path.Hops[0].RED {
+		t.Errorf("hop0 shaping = %d/%d/%v, want 2mbit/0/tail-drop",
+			path.Hops[0].Rate, path.Hops[0].Queue, path.Hops[0].RED)
+	}
+}
+
 // TestCompileTwoNodeChain covers the degenerate client—server chain:
 // still linear, zero hops.
 func TestCompileTwoNodeChain(t *testing.T) {
@@ -121,6 +149,12 @@ func TestLinearityBoundary(t *testing.T) {
 		{"one-way ring",
 			"node:c(client) node:f(router) node:r(router) node:s(server) " +
 				"link:c>f link:f>s link:s>r link:r>c"},
+		{"asymmetric bandwidth",
+			"node:c(client) node:r(router) node:s(server) " +
+				"link:c>r(bw=1mbit) link:r>c link:r>s link:s>r"},
+		{"asymmetric queue",
+			"node:c(client) node:r(router) node:s(server) " +
+				"link:c>r(bw=1mbit,queue=8) link:r>c(bw=1mbit,queue=16) link:r>s link:s>r"},
 		{"parallel branches", ecmpSpec},
 	}
 	for _, tc := range cases {
@@ -208,6 +242,8 @@ func TestNewProgramErrors(t *testing.T) {
 		{"node:c(client) node:s(server) link:c>s link:c>s link:s>c", "duplicate link c>s"},
 		{"node:c(client) node:s(server) link:s>c", `no route from client "c" to server "s"`},
 		{"node:c(client) node:s(server) link:c>s", `no route from server "s" to client "c"`},
+		{"node:c(client) node:s(server) link:c>s(queue=4) link:s>c", "queue/red require bw"},
+		{"node:c(client) node:s(server) link:c>s(red) link:s>c", "queue/red require bw"},
 	}
 	for _, tc := range cases {
 		_, err := NewProgram(MustParseTopo(tc.in))

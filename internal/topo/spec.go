@@ -1,6 +1,7 @@
 // Package topo is the declarative topology layer: a Spec describes a
 // trial's network — nodes (endpoints, routers, taps, middleboxes),
-// directed links with per-direction latency/loss/MTU, and seeded
+// directed links with per-direction latency/loss/MTU and optional
+// bandwidth shaping (token bucket + finite queue), and seeded
 // per-flow ECMP route selection — with a canonical text encoding that
 // round-trips through ParseTopo, exactly as internal/core's strategy
 // Spec does for evasion strategies. Compilation onto the netem
@@ -14,6 +15,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"intango/internal/netem"
 )
 
 // Kind classifies a node.
@@ -104,6 +107,15 @@ type LinkSpec struct {
 	// MTU, when nonzero, drops datagrams whose wire size exceeds it at
 	// this link's egress.
 	MTU int
+	// RateBits, when nonzero, caps the link at that many bits per
+	// second ("bw=1mbit"): packets serialize through a finite FIFO.
+	RateBits int64
+	// Queue is the FIFO depth in packets ("queue=16");
+	// netem.DefaultQueueLimit applies when zero. Only valid with a rate.
+	Queue int
+	// RED switches the queue from tail-drop to random early detection
+	// (bare "red" attribute). Only valid with a rate.
+	RED bool
 }
 
 // String renders the link statement in canonical form.
@@ -117,6 +129,15 @@ func (l LinkSpec) String() string {
 	}
 	if l.MTU != 0 {
 		args = append(args, "mtu="+strconv.Itoa(l.MTU))
+	}
+	if l.RateBits != 0 {
+		args = append(args, "bw="+netem.FormatRate(l.RateBits))
+	}
+	if l.Queue != 0 {
+		args = append(args, "queue="+strconv.Itoa(l.Queue))
+	}
+	if l.RED {
+		args = append(args, "red")
 	}
 	s := "link:" + l.From + ">" + l.To
 	if len(args) > 0 {
@@ -171,7 +192,9 @@ func MustParseTopo(input string) Spec {
 //	nattr = "client" | "server" | "router" | "label=" name |
 //	        "tap=" ref | "proc=" ref
 //	link  = "link:" name ">" name ["(" lattr {"," lattr} ")"]
-//	lattr = "lat=" duration | "loss=" float | "mtu=" int
+//	lattr = "lat=" duration | "loss=" float | "mtu=" int |
+//	        "bw=" rate | "queue=" int | "red"
+//	rate  = int ("bit" | "kbit" | "mbit" | "gbit")
 //	ecmp  = "ecmp(seed=" uint ")"
 //
 // Whitespace (including newlines) between statements is forgiving on
@@ -401,11 +424,52 @@ func (p *topoParser) link() (LinkSpec, error) {
 				return l, fmt.Errorf("topo: %s: bad mtu %q", owner, a.val)
 			}
 			l.MTU = m
+		case "bw":
+			bits, err := parseRate(a.val)
+			if err != nil {
+				return l, fmt.Errorf("topo: %s: bad bw %q", owner, a.val)
+			}
+			l.RateBits = bits
+		case "queue":
+			q, err := strconv.Atoi(a.val)
+			if err != nil || q <= 0 {
+				return l, fmt.Errorf("topo: %s: bad queue %q", owner, a.val)
+			}
+			l.Queue = q
+		case "":
+			if a.val == "red" {
+				l.RED = true
+				continue
+			}
+			return l, fmt.Errorf("topo: %s: unknown attribute %q", owner, a.label())
 		default:
 			return l, fmt.Errorf("topo: %s: unknown attribute %q", owner, a.label())
 		}
 	}
 	return l, nil
+}
+
+// parseRate parses a link bit rate: an integer with a bit/kbit/mbit/
+// gbit suffix, matching tc's spelling ("1mbit", "500kbit").
+func parseRate(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "gbit"):
+		mult, s = 1_000_000_000, strings.TrimSuffix(s, "gbit")
+	case strings.HasSuffix(s, "mbit"):
+		mult, s = 1_000_000, strings.TrimSuffix(s, "mbit")
+	case strings.HasSuffix(s, "kbit"):
+		mult, s = 1_000, strings.TrimSuffix(s, "kbit")
+	case strings.HasSuffix(s, "bit"):
+		s = strings.TrimSuffix(s, "bit")
+	default:
+		return 0, fmt.Errorf("missing bit/kbit/mbit/gbit suffix")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad rate magnitude %q", s)
+	}
+	return n * mult, nil
 }
 
 func (p *topoParser) ecmp() (uint64, error) {

@@ -21,6 +21,10 @@ func TestParseTopoRoundTrip(t *testing.T) {
 		"node:c(client) node:a(router) node:b1(router) node:b2(router) node:s(server) " +
 			"link:c>a link:a>b1 link:a>b2 link:b1>s link:b2>s link:s>a link:a>c " +
 			"ecmp(seed=7)",
+		"node:c(client) node:r0(router) node:s(server) " +
+			"link:c>r0(lat=1ms,bw=1mbit,queue=16) link:r0>c(lat=1ms,bw=1mbit,queue=16) " +
+			"link:r0>s(lat=1ms) link:s>r0(lat=1ms)",
+		"node:c(client) node:s(server) link:c>s(lat=1ms,bw=500kbit,red) link:s>c(lat=1ms,bw=2gbit)",
 	}
 	for _, in := range canonical {
 		spec, err := ParseTopo(in)
@@ -51,6 +55,11 @@ func TestParseTopoRoundTrip(t *testing.T) {
 			// 1500us canonicalizes to 1.5ms, 0.50 to 0.5.
 			"node:c(client) node:s(server) link:c>s(lat=1500us,loss=0.50)",
 			"node:c(client) node:s(server) link:c>s(lat=1.5ms,loss=0.5)",
+		},
+		{
+			// Rates canonicalize to the largest exact unit.
+			"node:c(client) node:s(server) link:c>s(bw=1000kbit) link:s>c(bw=1536bit)",
+			"node:c(client) node:s(server) link:c>s(bw=1mbit) link:s>c(bw=1536bit)",
 		},
 	}
 	for _, tc := range sloppy {
@@ -115,6 +124,12 @@ func TestParseTopoErrors(t *testing.T) {
 		{"link:a>b(mtu=0)", `bad mtu "0"`},
 		{"link:a>b(mtu=huge)", `bad mtu "huge"`},
 		{"link:a>b(speed=9)", `unknown attribute "speed"`},
+		{"link:a>b(bw=1)", `bad bw "1"`},
+		{"link:a>b(bw=fastbit)", `bad bw "fastbit"`},
+		{"link:a>b(bw=0mbit)", `bad bw "0mbit"`},
+		{"link:a>b(queue=0)", `bad queue "0"`},
+		{"link:a>b(bw=1mbit,queue=none)", `bad queue "none"`},
+		{"link:a>b(blue)", `unknown attribute "blue"`},
 		{"ecmp", "want ecmp(seed=N)"},
 		{"ecmp(seed=0)", "seed must be nonzero"},
 		{"ecmp(seed=x)", `bad seed "x"`},
