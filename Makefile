@@ -29,10 +29,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# fuzz-smoke replays the checked-in seed corpus of the topology spec
-# parser as ordinary tests (no -fuzz: that would fuzz indefinitely).
+# fuzz-smoke replays the checked-in seed corpora of the topology and
+# censor spec parsers as ordinary tests (no -fuzz: that would fuzz
+# indefinitely).
 fuzz-smoke:
 	$(GO) test -run '^FuzzParseTopo$$' ./internal/topo
+	$(GO) test -run '^FuzzParseCensor$$' ./internal/censor
 
 # bench measures the trial hot path, the bandwidth-constrained goodput
 # path (shaper + congestion control live, allocs recorded), and the

@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		what      = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,health,goodput,bench,bench-compare,figures,strategies,topo")
+		what      = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,health,goodput,bench,bench-compare,figures,strategies,censors,topo")
 		scale     = flag.String("scale", "quick", "campaign scale: quick, mid, paper")
 		seed      = flag.Int64("seed", 42, "population/campaign seed")
 		benchOut  = flag.String("bench-out", "BENCH_netem.json", "report path for -what bench")
@@ -294,6 +294,11 @@ func main() {
 		fmt.Print(core.FormatStrategyTable())
 	}
 	// Reference dump, not a paper artifact: "-what all" skips it.
+	if *what == "censors" {
+		ran = true
+		experiment.WriteCensorsCampaign(os.Stdout, r)
+	}
+	// Reference dump, not a paper artifact: "-what all" skips it.
 	if *what == "topo" {
 		ran = true
 		experiment.WriteTopoSpecs(os.Stdout, r, sc)
@@ -307,7 +312,7 @@ func main() {
 		fmt.Println(experiment.Figure4(r))
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,health,goodput,bench,bench-compare,figures,strategies,topo\n", *what)
+		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,health,goodput,bench,bench-compare,figures,strategies,censors,topo\n", *what)
 		os.Exit(2)
 	}
 }

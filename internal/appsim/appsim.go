@@ -182,6 +182,31 @@ func ServeTorBridge(stack *tcpstack.Stack, port uint16) {
 	})
 }
 
+// ServeObfsBridge installs a probe-resistant obfuscated bridge
+// (ScrambleSuit-style, Winter & Lindskog's countermeasure): to anything
+// that cannot complete the out-of-band-keyed handshake — an active
+// prober replaying a vanilla Tor ClientHello — it answers an opaque
+// non-TLS blob, so the prober never sees the ServerHello it confirms
+// on. Established clients then carry cells as usual.
+func ServeObfsBridge(stack *tcpstack.Stack, port uint16) {
+	stack.Listen(port, func(c *tcpstack.Conn) {
+		greeted := false
+		c.OnData = func(data []byte) {
+			if !greeted {
+				greeted = true
+				// Uniformly random-looking bytes: first byte is not a TLS
+				// handshake record, so probe confirmation fails.
+				blob := bytes.Repeat([]byte{0x7f, 0x3c, 0x91, 0xe8}, 8)
+				c.Write(blob)
+				return
+			}
+			cell := make([]byte, 64)
+			copy(cell, "OBFSCELL")
+			c.Write(cell)
+		}
+	})
+}
+
 // OpenVPNClientReset returns the P_CONTROL_HARD_RESET_CLIENT_V2 opening
 // of an OpenVPN-over-TCP session.
 func OpenVPNClientReset() []byte {

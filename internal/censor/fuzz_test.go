@@ -1,0 +1,51 @@
+package censor
+
+import "testing"
+
+// FuzzParseCensor asserts the parser's core invariant on arbitrary
+// input: no panics, and every accepted spec has a canonical form that
+// re-parses to the same canonical form (String is a fixed point of
+// ParseCensor∘String). `make check` runs the seed corpus as a smoke
+// test (go test -run=FuzzParseCensor); run
+// `go test -fuzz=FuzzParseCensor ./internal/censor` to explore.
+func FuzzParseCensor(f *testing.F) {
+	seeds := []string{
+		"",
+		"tcb:evolved detect:keywords(ultrasurf) react:reset(type1) react:reset(type2) " +
+			"react:block(dur=1m30s) param:miss(p=0.028) param:resync(p=0.22) param:seglastwins(p=0.32)",
+		"detect:keywords(ultrasurf,dir=both) detect:host(facebook.com+youtube.com) " +
+			"detect:dns(dropbox.com+twitter.com) react:drop(dur=3m0s) react:poison(ip=127.0.0.1)",
+		"tcb:evolved detect:proto(tor) react:reset(type2) react:block(dur=1m30s) " +
+			"react:probe(delay=15s) param:miss(p=0)",
+		"filter:reassemble filter:checksum filter:flagless filter:flag(fin,p=1)",
+		"react:reset(type2,offsets=0+1460+4380)",
+		"react:poison",
+		"tcb:",
+		"tcb:evolved tcb:khattak",
+		"detect:keywords(",
+		"detect:keywords(a++b)",
+		"detect:keywords( a+b , dir=both )",
+		"filter:flag(fin,p=0.4)",
+		"react:block(dur=banana)",
+		"param:miss(p=2)",
+		"harden:md5 harden:md5",
+		"  tcb:evolved\n\tdetect:keywords(x)\r\nreact:reset(type1)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := ParseCensor(input)
+		if err != nil {
+			return
+		}
+		canon := spec.String()
+		again, err := ParseCensor(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, input, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("String not a fixed point: %q -> %q -> %q", input, canon, again.String())
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"intango/internal/censor"
 	"intango/internal/core"
 	"intango/internal/gfw"
 	"intango/internal/tcpstack"
@@ -28,6 +29,38 @@ func Hardenings() []Hardening {
 			cfg.ValidateMD5 = true
 			cfg.TrustDataAfterServerACK = true
 		}},
+	}
+}
+
+// AblationCensorSpec pairs a Hardenings() rung with the canonical
+// censor-spec edit string expressing the same censor declaratively:
+// the gfw2017 registry spec with the matching harden: statements
+// appended and the detection-miss draw pinned off (param:miss(p=0)),
+// exactly as runHardened pins it via Cal. TestAblationSpecsMatchConfig
+// holds the two constructions to identical behaviour.
+type AblationCensorSpec struct {
+	Hardening string
+	Spec      string
+}
+
+// AblationCensorSpecs returns the §8 ablation ladder as censor-spec
+// edits: the registered gfw2017 variants with the detection-miss draw
+// pinned — each rung a pure text edit of the measured spec, the
+// countermeasures data rather than code toggles.
+func AblationCensorSpecs() []AblationCensorSpec {
+	pinned := func(name string) string {
+		spec, ok := censor.Lookup(name)
+		if !ok {
+			panic("experiment: " + name + " missing from censor registry")
+		}
+		return strings.Replace(spec, "param:miss(p=0.028)", "param:miss(p=0)", 1)
+	}
+	return []AblationCensorSpec{
+		{"measured (2017)", pinned(censor.GFW2017)},
+		{"+checksum validation", pinned(censor.GFW2017 + "+checksum")},
+		{"+md5 validation", pinned(censor.GFW2017 + "+md5")},
+		{"+trust-after-server-ack", pinned(censor.GFW2017 + "+trustack")},
+		{"+all of the above", pinned(censor.GFW2017 + "+all")},
 	}
 }
 

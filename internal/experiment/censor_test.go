@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"intango/internal/censor"
+	"intango/internal/tcpstack"
+)
+
+// TestAblationSpecsCanonical checks the §8 spec-edit ladder is well
+// formed: one rung per Hardenings() entry, in order, each a canonical
+// spec (round-trips through the grammar unchanged) that differs from
+// the measured gfw2017 only by its harden: statements and the pinned
+// detection-miss draw.
+func TestAblationSpecsCanonical(t *testing.T) {
+	hardenings := Hardenings()
+	specs := AblationCensorSpecs()
+	if len(specs) != len(hardenings) {
+		t.Fatalf("%d censor specs for %d hardenings", len(specs), len(hardenings))
+	}
+	for i, s := range specs {
+		if s.Hardening != hardenings[i].Name {
+			t.Errorf("rung %d: spec names hardening %q, Hardenings() has %q", i, s.Hardening, hardenings[i].Name)
+		}
+		spec, err := censor.ParseCensor(s.Spec)
+		if err != nil {
+			t.Errorf("%s: bad spec %q: %v", s.Hardening, s.Spec, err)
+			continue
+		}
+		if canon := spec.String(); canon != s.Spec {
+			t.Errorf("%s: spec %q is not canonical (want %q)", s.Hardening, s.Spec, canon)
+		}
+		if !strings.Contains(s.Spec, "param:miss(p=0)") {
+			t.Errorf("%s: spec %q does not pin the detection-miss draw off", s.Hardening, s.Spec)
+		}
+	}
+}
+
+// TestAblationSpecsMatchConfig is the satellite equivalence proof: each
+// §8 rung built two ways — the legacy route (Config toggles via
+// Runner.HardenGFW plus Cal pinning) and the declarative route (the
+// canonical spec edit compiled through the censor grammar) — must
+// classify every (strategy, server-stack) trial identically.
+func TestAblationSpecsMatchConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ablation sweep twice over")
+	}
+	vp := VantagePoints()[0]
+	base := Servers(1, DefaultCalibration(), 42)[0]
+	base.Mix = EvolvedOnly
+	base.ServerSideFirewall = false
+	base.RouteDynamicsProb = 0
+	base.LossRate = 0
+	stacks := []tcpstack.Profile{tcpstack.Linux44(), tcpstack.Linux2437()}
+
+	hardenings := Hardenings()
+	specs := AblationCensorSpecs()
+	if len(specs) != len(hardenings) {
+		t.Fatalf("%d censor specs for %d hardenings", len(specs), len(hardenings))
+	}
+	for i, h := range hardenings {
+		for _, strat := range ablationStrategies() {
+			factory := strat.compile()
+			for _, stack := range stacks {
+				srv := base
+				srv.Stack = stack
+
+				legacy := NewRunner(42)
+				cfgOut := legacy.runHardened(vp, srv, factory, h)
+
+				viaSpec := NewRunner(42)
+				viaSpec.Censor = specs[i].Spec
+				specOut := viaSpec.RunOne(vp, srv, factory, true, 17)
+
+				if cfgOut != specOut {
+					t.Errorf("%s / %s / %s: Config-toggled censor = %v, spec-compiled censor = %v",
+						h.Name, strat.name, stack.Name, cfgOut, specOut)
+				}
+			}
+		}
+	}
+}
+
+// TestCensorsMatchGolden regenerates the censor-zoo reference dump —
+// registry table, strategy × censor matrix, active-probing demo — and
+// compares it against the committed golden (what `cmd/tables -what
+// censors` prints at seed 42).
+func TestCensorsMatchGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cross-censor matrix campaign")
+	}
+	want, err := os.ReadFile("testdata/censors.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	WriteCensorsCampaign(&got, NewRunner(42))
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("output drifted from testdata/censors.golden:\ngot:\n%swant:\n%s", got.Bytes(), want)
+	}
+}

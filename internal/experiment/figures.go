@@ -75,11 +75,16 @@ func SequenceDiagram(r *Runner, factoryName, title string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
 	for _, dev := range rg.devices {
-		dev := dev
-		dev.OnEvent = func(ev gfw.Event) {
+		// Event subscription is engine-specific; non-GFW zoo censors
+		// simply contribute no state-transition lines.
+		gd, ok := dev.(*gfw.Device)
+		if !ok {
+			continue
+		}
+		gd.OnEvent = func(ev gfw.Event) {
 			switch ev.Kind {
 			case "tcb-create", "tcb-create-reversed", "resync", "resync-applied", "teardown", "detect":
-				fmt.Fprintf(&b, "%9.3fms      %s: %s %s\n", ms(rg.sim.Now()), dev.Name(), ev.Kind, ev.Detail)
+				fmt.Fprintf(&b, "%9.3fms      %s: %s %s\n", ms(rg.sim.Now()), gd.Name(), ev.Kind, ev.Detail)
 			}
 		}
 	}

@@ -120,6 +120,60 @@ func TestObsSerialParallelDeterminism(t *testing.T) {
 		t.Error("graph campaign produced identical rows to the linear campaign; graph arm is vacuous")
 	}
 
+	// The same guarantee with a spec-compiled censor replacing the GFW
+	// population: the inline Turkmenistan blocker (flow blackholes,
+	// per-packet bidirectional DPI) is built per trial from one cached
+	// Compiled, and serial vs parallel must stay bit-identical.
+	runCensor := func(workers int) ([]Table1Row, *ObsSink) {
+		r := NewRunner(42)
+		r.Workers = workers
+		r.Censor = "turkmenistan"
+		r.Obs = NewObsSink()
+		rows := RunTable1Parallel(r, scale)
+		return rows, r.Obs
+	}
+	rowsCS, obsCS := runCensor(1)
+	rowsCP, obsCP := runCensor(8)
+	if !reflect.DeepEqual(rowsCS, rowsCP) {
+		t.Errorf("spec-censor serial/parallel rows differ:\nserial: %+v\nparallel: %+v", rowsCS, rowsCP)
+	}
+	if !reflect.DeepEqual(obsCS.Snapshot().Counters, obsCP.Snapshot().Counters) {
+		t.Errorf("spec-censor serial/parallel counters differ:\nserial: %v\nparallel: %v",
+			obsCS.Snapshot().Counters, obsCP.Snapshot().Counters)
+	}
+	if !reflect.DeepEqual(obsCS.Failures(), obsCP.Failures()) {
+		t.Errorf("spec-censor serial/parallel failure traces differ")
+	}
+	if obsCS.Snapshot().Counters["censor.detect-keyword"] == 0 {
+		t.Error("spec-censor campaign detected nothing; censor arm is vacuous")
+	}
+	if reflect.DeepEqual(rowsCS, rowsSerial) {
+		t.Error("spec-censor campaign produced identical rows to the GFW campaign; arm is vacuous")
+	}
+
+	// And over a graph topology whose censors attach declaratively
+	// (censor= node attributes binding registry censors onto parallel
+	// branches).
+	runZoo := func(workers int) ([]Table1Row, *ObsSink) {
+		r := NewRunner(42)
+		r.Workers = workers
+		r.Topo = GraphZooTopo
+		r.Obs = NewObsSink()
+		rows := RunTable1Parallel(r, scale)
+		return rows, r.Obs
+	}
+	rowsZS, obsZS := runZoo(1)
+	rowsZP, obsZP := runZoo(8)
+	if !reflect.DeepEqual(rowsZS, rowsZP) {
+		t.Errorf("censor-zoo-topology serial/parallel rows differ:\nserial: %+v\nparallel: %+v", rowsZS, rowsZP)
+	}
+	if !reflect.DeepEqual(obsZS.Snapshot().Counters, obsZP.Snapshot().Counters) {
+		t.Errorf("censor-zoo-topology serial/parallel counters differ")
+	}
+	if !reflect.DeepEqual(obsZS.Failures(), obsZP.Failures()) {
+		t.Errorf("censor-zoo-topology serial/parallel failure traces differ")
+	}
+
 	// And over a bandwidth-constrained topology: token-bucket shaping,
 	// a tight router queue, and the congestion machinery it wakes up
 	// (tail drops, retransmission timers, cwnd state) are all integer

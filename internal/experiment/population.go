@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"intango/internal/censor"
 	"intango/internal/gfw"
 	"intango/internal/middlebox"
 	"intango/internal/packet"
@@ -201,13 +202,22 @@ func OutsideServers(n int, cal Calibration, seed int64) []Server {
 	return servers
 }
 
-// gfwConfig builds the device configuration for a path.
+// gfwConfig builds the device configuration for a path: the compiled
+// censor-spec lowering of the model's registry entry (gfw2017/gfw2013),
+// with the calibration's device probabilities layered on top — Cal is
+// the experiment-level override knob the §8 ablations and sensitivity
+// sweeps turn, so it wins over the spec's measured defaults here.
 func gfwConfig(model gfw.Model, cal Calibration) gfw.Config {
-	return gfw.Config{
-		Model:               model,
-		Keywords:            []string{Keyword},
-		DetectionMissProb:   cal.DetectionMissProb,
-		ResyncOnRSTProb:     cal.ResyncOnRSTProb,
-		SegmentLastWinsProb: cal.SegmentLastWinsProb,
+	name := censor.GFW2017
+	if model == gfw.ModelKhattak2013 {
+		name = censor.GFW2013
 	}
+	cfg, ok := censor.MustResolve(name).GFWConfig()
+	if !ok {
+		panic("experiment: registry censor " + name + " is not an engine spec")
+	}
+	cfg.DetectionMissProb = cal.DetectionMissProb
+	cfg.ResyncOnRSTProb = cal.ResyncOnRSTProb
+	cfg.SegmentLastWinsProb = cal.SegmentLastWinsProb
+	return cfg
 }

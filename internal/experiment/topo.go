@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"intango/internal/censor"
 	"intango/internal/gfw"
 	"intango/internal/middlebox"
 	"intango/internal/netem"
@@ -245,8 +246,14 @@ func FormatTopoDemo(seed int64) string {
 //	mbox:<profile>  client-side middlebox chain (Table 2 profile)
 //	gfw-old...      legacy-model GFW device (tap); name = ref
 //	gfw-new...      evolved-model GFW device (tap); name = ref
-//	ipf:<name>      the in-path IP filter of the already-bound device
+//	ipf:<name>      the in-path companion filter of the already-bound
+//	                device (IP blocklist for the engine, flow blackhole
+//	                for the inline blocker)
 //	server-fw       server-side stateful firewall
+//
+// It also implements topo.CensorBinder, so censor= attachments resolve
+// through the internal/censor registry (heterogeneous zoos on fabric
+// branches).
 type rigBinder struct {
 	r        *Runner
 	vp       VantagePoint
@@ -269,12 +276,30 @@ func (b *rigBinder) Bind(ref string, tap bool) ([]netem.Processor, error) {
 		name := ref[len("ipf:"):]
 		for _, dev := range b.rg.devices {
 			if dev.Name() == name {
-				b.scratch[0] = dev.IPFilter()
+				b.scratch[0] = dev.Filter()
 				return b.scratch[:1], nil
 			}
 		}
 		return nil, fmt.Errorf("ipf ref %q precedes its device", ref)
 	case strings.HasPrefix(ref, "gfw-old"), strings.HasPrefix(ref, "gfw-new"):
+		if b.r.Censor != "" {
+			// Censor override: the device slot is filled by the compiled
+			// censor instead of the calibrated GFW population. Spec
+			// parameters are authoritative — Cal probabilities and
+			// HardenGFW do not apply here.
+			comp, err := censor.Resolve(b.r.Censor)
+			if err != nil {
+				return nil, err
+			}
+			dev, err := comp.Build(ref, b.trialRng, b.pairRng)
+			if err != nil {
+				return nil, err
+			}
+			dev.SetClientSide(func(a packet.Addr) bool { return a[0] == 10 })
+			b.rg.devices = append(b.rg.devices, dev)
+			b.scratch[0] = dev
+			return b.scratch[:1], nil
+		}
 		model := gfw.ModelEvolved2017
 		if strings.HasPrefix(ref, "gfw-old") {
 			model = gfw.ModelKhattak2013
@@ -298,3 +323,44 @@ func (b *rigBinder) Bind(ref string, tap bool) ([]netem.Processor, error) {
 		return nil, fmt.Errorf("unknown attachment ref %q", ref)
 	}
 }
+
+// BindCensor implements topo.CensorBinder: a censor= attachment builds
+// one live instance from the registry (or raw spec text) at the node,
+// returning its tap plus its in-path companion; filter-only censors
+// contribute just a processor chain. Instance names carry a per-rig
+// ordinal so two attachments of the same censor stay distinguishable
+// in traces and stats.
+func (b *rigBinder) BindCensor(ref string) (taps, procs []netem.Processor, err error) {
+	comp, err := censor.Resolve(ref)
+	if err != nil {
+		return nil, nil, err
+	}
+	if chain, ok := comp.BuildChain(b.trialRng); ok {
+		return nil, chain, nil
+	}
+	name := fmt.Sprintf("censor%d:%s", len(b.rg.devices), ref)
+	dev, err := comp.Build(name, b.trialRng, b.pairRng)
+	if err != nil {
+		return nil, nil, err
+	}
+	dev.SetClientSide(func(a packet.Addr) bool { return a[0] == 10 })
+	b.rg.devices = append(b.rg.devices, dev)
+	return []netem.Processor{dev}, []netem.Processor{dev.Filter()}, nil
+}
+
+// GraphZooTopo is the heterogeneous censor-zoo demonstration topology:
+// a GFW engine and a Turkmenistan-style inline blocker on parallel
+// equal-cost branches, each attached declaratively with censor=. Which
+// censor a flow meets is decided by the seeded per-flow ECMP hash —
+// the cross-censor analogue of GraphDemoTopo's device clusters.
+const GraphZooTopo = "node:c(client) " +
+	"node:a(router) " +
+	"node:b1(router,censor=gfw2017) " +
+	"node:b2(router,censor=turkmenistan) " +
+	"node:x(router) node:rr(router) node:s(server) " +
+	"link:c>a(lat=1ms) link:a>c(lat=1ms) " +
+	"link:a>b1(lat=1ms) link:a>b2(lat=1ms) " +
+	"link:b1>x(lat=1ms) link:b2>x(lat=1ms) link:x>s(lat=1ms) " +
+	"link:s>rr(lat=1ms) link:rr>a(lat=1ms) " +
+	"link:b1>a(lat=1ms) link:b2>a(lat=1ms) link:x>a(lat=1ms) " +
+	"ecmp(seed=7)"

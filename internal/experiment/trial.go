@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"intango/internal/appsim"
+	"intango/internal/censor"
 	"intango/internal/core"
 	"intango/internal/gfw"
 	"intango/internal/intang"
@@ -85,6 +86,14 @@ type Runner struct {
 	// references resolve through the standard rig binder (see topo.go).
 	// An invalid spec panics at the first build.
 	Topo string
+	// Censor, when set, replaces every GFW device the topology would
+	// bind with a censor compiled from this reference — a registry name
+	// ("turkmenistan") or raw censor-spec text (internal/censor
+	// grammar). The spec's parameters are authoritative: Cal's device
+	// probabilities and HardenGFW apply only to the default ("")
+	// population. Chain-kind censors (filter-only specs) cannot stand in
+	// for a device; attach those with censor= in a topology spec.
+	Censor string
 
 	// progressAddr is atomic: callers poll ProgressAddr from other
 	// goroutines while RunParallel is binding the endpoint (the whole
@@ -162,7 +171,7 @@ func (r *Runner) pairSeed(vp VantagePoint, srv Server) int64 {
 type rig struct {
 	sim     *netem.Simulator
 	net     netem.Net
-	devices []*gfw.Device
+	devices []censor.Instance
 	cli     *tcpstack.Stack
 	srv     *tcpstack.Stack
 	engine  *core.Engine
@@ -229,7 +238,7 @@ func insertionTTL(srv Server) uint8 {
 func classify(rg *rig, conn *tcpstack.Conn, sensitive bool) Outcome {
 	injected := false
 	for _, dev := range rg.devices {
-		if dev.Stats["inject-type1"]+dev.Stats["inject-type2"]+dev.Stats["block-enforce"]+dev.Stats["forged-synack"] > 0 {
+		if dev.Stat("inject-type1")+dev.Stat("inject-type2")+dev.Stat("block-enforce")+dev.Stat("forged-synack") > 0 {
 			injected = true
 		}
 	}
@@ -252,7 +261,7 @@ func classify(rg *rig, conn *tcpstack.Conn, sensitive bool) Outcome {
 func (rg *rig) attachObs(b *obs.Obs) {
 	rg.net.SetObs(b)
 	for _, dev := range rg.devices {
-		dev.Obs = b
+		dev.SetObs(b)
 	}
 	rg.cli.Obs = b
 	rg.srv.Obs = b
@@ -331,14 +340,15 @@ func recordStageSpans(rg *rig, conn *tcpstack.Conn, reg *obs.Registry, rec *obs.
 	span(spanHandshake, 0, est)
 	span(spanStrategy, rg.engine.FirstSendAt, rg.engine.LastSendAt)
 	for _, dev := range rg.devices {
-		if dev.FirstPktAt == 0 && dev.LastPktAt == 0 {
+		first, verdict, last := dev.Marks()
+		if first == 0 && last == 0 {
 			continue // saw no traffic
 		}
-		end := dev.VerdictAt
+		end := verdict
 		if end == 0 {
-			end = dev.LastPktAt
+			end = last
 		}
-		span(spanVerdict, dev.FirstPktAt, end)
+		span(spanVerdict, first, end)
 	}
 	span(spanTeardown, rg.net.LastEventAt(), rg.sim.Now())
 }
@@ -428,9 +438,7 @@ func (r *Runner) RunINTANGSeries(vp VantagePoint, srv Server, trials int) []Outc
 	outcomes := make([]Outcome, 0, trials)
 	for i := 0; i < trials; i++ {
 		for _, dev := range rg.devices {
-			for k := range dev.Stats {
-				delete(dev.Stats, k)
-			}
+			dev.ClearStats()
 		}
 		conn := fetch(rg, srv, true)
 		out := classify(rg, conn, true)

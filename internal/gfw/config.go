@@ -12,7 +12,11 @@
 // separately via Device.IPFilter.
 package gfw
 
-import "time"
+import (
+	"time"
+
+	"intango/internal/packet"
+)
 
 // Model selects which inferred GFW state machine a device runs.
 type Model int
@@ -51,6 +55,9 @@ type Config struct {
 	Keywords []string
 	// PoisonedDomains is the DNS censorship list (suffix match).
 	PoisonedDomains []string
+	// PoisonedAddr is the forged address DNS poisoning answers with;
+	// zero means the well-known PoisonAddr pool address.
+	PoisonedAddr packet.Addr
 
 	// BlockDuration is the post-detection pair-blocklist period —
 	// 90 seconds as measured in §2.1. Only type-2 devices enforce it.
@@ -132,6 +139,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ResetSeqOffsets == nil {
 		c.ResetSeqOffsets = []int{0, 1460, 4380}
+	}
+	if c.PoisonedAddr == (packet.Addr{}) {
+		c.PoisonedAddr = PoisonAddr
 	}
 	if !c.Type1 && !c.Type2 {
 		c.Type1, c.Type2 = true, true

@@ -121,6 +121,30 @@ func (d *Device) SetRSTResyncs(v bool) { d.rstResyncs = v }
 // Config.SegmentLastWinsProb).
 func (d *Device) SetSegmentLastWins(v bool) { d.segLastWins = v }
 
+// SetObs mirrors device events into the shared observability layer
+// (censor.Instance).
+func (d *Device) SetObs(o *obs.Obs) { d.Obs = o }
+
+// Stat returns the count of one event kind (censor.Instance).
+func (d *Device) Stat(kind string) int { return d.Stats[kind] }
+
+// ClearStats resets the event counters (censor.Instance); series
+// runners reuse one device across trials.
+func (d *Device) ClearStats() {
+	for k := range d.Stats {
+		delete(d.Stats, k)
+	}
+}
+
+// Marks returns the span-profiling stamps (censor.Instance).
+func (d *Device) Marks() (first, verdict, last time.Duration) {
+	return d.FirstPktAt, d.VerdictAt, d.LastPktAt
+}
+
+// Filter returns the in-path companion processor (censor.Instance);
+// for the GFW engine that is the active-probing IP blocklist.
+func (d *Device) Filter() netem.Processor { return d.IPFilter() }
+
 func (d *Device) event(kind string, tuple packet.FourTuple, detail string) {
 	d.eventPkt(kind, tuple, nil, detail)
 }

@@ -234,7 +234,7 @@ func (d *Device) processUDP(ctx *netem.Context, pkt *packet.Packet) {
 	}
 	// Inject a forged response; being closer to the client than the
 	// real resolver, it wins the race.
-	forged := dnsmsg.NewResponse(query, PoisonAddr, 300)
+	forged := dnsmsg.NewResponse(query, d.cfg.PoisonedAddr, 300)
 	payload, err := forged.Encode()
 	if err != nil {
 		return

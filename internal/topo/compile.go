@@ -18,6 +18,15 @@ type Binder interface {
 	Bind(ref string, tap bool) ([]netem.Processor, error)
 }
 
+// CensorBinder is the optional Binder extension that resolves censor=
+// attachments. BindCensor builds one live censor instance for the ref
+// (a registry name or raw censor-spec text) and returns its on-path
+// tap chain plus its in-path companion chain; either may be empty.
+// Binders without it reject censor= attachments.
+type CensorBinder interface {
+	BindCensor(ref string) (taps, procs []netem.Processor, err error)
+}
+
 // BindMap is the simple Binder: a map from reference to processor
 // chain. Missing references are errors.
 type BindMap map[string][]netem.Processor
@@ -265,6 +274,19 @@ func bindInto(b Binder, name string, attach []Attachment, taps, procs *[]netem.P
 	for _, a := range attach {
 		if b == nil {
 			return fmt.Errorf("topo: node %q: no binder for ref %q", name, a.Ref)
+		}
+		if a.Censor {
+			cb, ok := b.(CensorBinder)
+			if !ok {
+				return fmt.Errorf("topo: node %q: binder cannot resolve censor ref %q", name, a.Ref)
+			}
+			t, pr, err := cb.BindCensor(a.Ref)
+			if err != nil {
+				return fmt.Errorf("topo: node %q: %w", name, err)
+			}
+			*taps = append(*taps, t...)
+			*procs = append(*procs, pr...)
+			continue
 		}
 		chain, err := b.Bind(a.Ref, a.Tap)
 		if err != nil {

@@ -26,6 +26,9 @@ func FuzzParseTopo(f *testing.F) {
 		"  node:c( client )\n node:s(server)\tlink:c>s( lat=1500us , loss=0.50 )",
 		"ecmp(seed=0) ecmp(seed=1)",
 		"node:c(client,server)",
+		"node:c(client) node:b1(router,censor=gfw2017) node:b2(router,censor=turkmenistan) node:s(server) " +
+			"link:c>b1 link:c>b2 link:b1>s link:b2>s link:s>b1 ecmp(seed=9)",
+		"node:c(censor=)",
 	}
 	for _, s := range seeds {
 		f.Add(s)

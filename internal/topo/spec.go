@@ -57,8 +57,12 @@ type Attachment struct {
 	// Tap: attach as an on-path tap (the GFW wiretap position) rather
 	// than an in-path processor.
 	Tap bool
+	// Censor: Ref is a censor reference (registry name or spec text)
+	// compiled by internal/censor; the binder builds the instance's tap
+	// and its in-path companion filter at this node.
+	Censor bool
 	// Ref is the symbolic name a Binder resolves, e.g. "gfw-new",
-	// "client-mbox", "ipf:gfw-new".
+	// "client-mbox", "ipf:gfw-new" — or, with Censor, "gfw2017".
 	Ref string
 }
 
@@ -84,9 +88,12 @@ func (n NodeSpec) String() string {
 		args = append(args, "label="+n.Label)
 	}
 	for _, a := range n.Attach {
-		if a.Tap {
+		switch {
+		case a.Censor:
+			args = append(args, "censor="+a.Ref)
+		case a.Tap:
 			args = append(args, "tap="+a.Ref)
-		} else {
+		default:
 			args = append(args, "proc="+a.Ref)
 		}
 	}
@@ -190,7 +197,7 @@ func MustParseTopo(input string) Spec {
 //	stmt  = node | link | ecmp
 //	node  = "node:" name ["(" nattr {"," nattr} ")"]
 //	nattr = "client" | "server" | "router" | "label=" name |
-//	        "tap=" ref | "proc=" ref
+//	        "tap=" ref | "proc=" ref | "censor=" ref
 //	link  = "link:" name ">" name ["(" lattr {"," lattr} ")"]
 //	lattr = "lat=" duration | "loss=" float | "mtu=" int |
 //	        "bw=" rate | "queue=" int | "red"
@@ -379,6 +386,8 @@ func (p *topoParser) node() (NodeSpec, error) {
 			n.Attach = append(n.Attach, Attachment{Tap: true, Ref: a.val})
 		case a.key == "proc":
 			n.Attach = append(n.Attach, Attachment{Ref: a.val})
+		case a.key == "censor":
+			n.Attach = append(n.Attach, Attachment{Censor: true, Ref: a.val})
 		default:
 			return n, fmt.Errorf("topo: node:%s: unknown attribute %q", n.Name, a.label())
 		}

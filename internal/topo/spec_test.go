@@ -25,6 +25,9 @@ func TestParseTopoRoundTrip(t *testing.T) {
 			"link:c>r0(lat=1ms,bw=1mbit,queue=16) link:r0>c(lat=1ms,bw=1mbit,queue=16) " +
 			"link:r0>s(lat=1ms) link:s>r0(lat=1ms)",
 		"node:c(client) node:s(server) link:c>s(lat=1ms,bw=500kbit,red) link:s>c(lat=1ms,bw=2gbit)",
+		"node:c(client) node:b1(router,censor=gfw2017) node:b2(router,censor=turkmenistan) node:s(server) " +
+			"link:c>b1 link:c>b2 link:b1>s link:b2>s link:s>b1 " +
+			"ecmp(seed=9)",
 	}
 	for _, in := range canonical {
 		spec, err := ParseTopo(in)
@@ -90,6 +93,10 @@ func TestParseTopoFields(t *testing.T) {
 		g.Attach[1].Tap || g.Attach[1].Ref != "mbox" {
 		t.Errorf("attachments parsed as %+v", g.Attach)
 	}
+	z := MustParseTopo("node:z(router,censor=tor-prober)").Nodes[0]
+	if len(z.Attach) != 1 || !z.Attach[0].Censor || z.Attach[0].Tap || z.Attach[0].Ref != "tor-prober" {
+		t.Errorf("censor attachment parsed as %+v", z.Attach)
+	}
 	l := spec.Links[0]
 	if l.From != "c" || l.To != "g" || l.Latency != 10*time.Millisecond || l.Loss != 0.006 || l.MTU != 1500 {
 		t.Errorf("link c>g parsed as %+v", l)
@@ -114,6 +121,7 @@ func TestParseTopoErrors(t *testing.T) {
 		{"node:c(client,router)", `conflicting kind "router"`},
 		{"node:c(label=)", `missing value for "label"`},
 		{"node:c(tap=)", `missing value for "tap"`},
+		{"node:c(censor=)", `missing value for "censor"`},
 		{"link:", "link: missing source node"},
 		{"link:a", "expected '>'"},
 		{"link:a>", "missing target node"},
