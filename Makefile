@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race fuzz-smoke bench-smoke bench bench-compare bench-obs health-golden
+.PHONY: check build fmt vet test race fuzz-smoke bench-smoke bench bench-compare bench-gate bench-obs health-golden fleet-smoke
 
 # check is the fast gate: build, formatting, vet, tests (which include
 # the health-report golden and the disabled-telemetry alloc gate), the
@@ -8,7 +8,7 @@ GO ?= go
 # the hot-path benchmarks so a broken benchmark can't sit unnoticed
 # until the next `make bench`. The race detector runs as its own target
 # (and its own CI job) because it multiplies test time severalfold.
-check: build fmt vet test health-golden fuzz-smoke bench-smoke
+check: build fmt vet test health-golden fuzz-smoke bench-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -56,16 +56,45 @@ NEW ?= BENCH_netem.json
 bench-compare:
 	$(GO) run ./cmd/tables -what bench-compare $(OLD) $(NEW)
 
+# bench-gate is the CI allocation-regression gate: re-measure the trial
+# hot path and fail if allocs/trial exceeds the committed
+# BENCH_netem.json baseline by more than 5%. Allocs/op is the one
+# benchmark statistic that is deterministic on shared CI runners;
+# timing drift is diagnosed with bench-compare instead.
+bench-gate:
+	$(GO) run ./cmd/tables -what bench-gate BENCH_netem.json
+
 # bench-obs gates the instrumentation tax. The alloc gates assert the
 # disabled-telemetry arm and the unconstrained (congestion-dormant)
 # trial add zero allocations over the seed hot-path baseline (hard
 # failures, not measurements); the benchmark then reports the
 # enabled-arm overhead, which should stay within a few percent.
 bench-obs:
-	$(GO) test -run '^TestTelemetryDisabledZeroAlloc$$|^TestCongestionDisabledZeroAlloc$$' -count=1 ./internal/experiment/
+	$(GO) test -run '^TestTelemetryDisabledZeroAlloc$$|^TestCongestionDisabledZeroAlloc$$|^TestFleetDisabledZeroAlloc$$' -count=1 ./internal/experiment/
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 2s ./internal/experiment/
 
 # health-golden replays the post-campaign health report against its
 # checked-in golden rendering (byte-identical).
 health-golden:
 	$(GO) test -run '^TestHealth' -count=1 ./internal/experiment/
+
+# fleet-smoke proves checkpoint/resume end to end with a real SIGKILL:
+# run a sharded campaign that kills itself (-fleet-kill-after) two
+# checkpoint frames in, resume it from the same checkpoint dir, and
+# require the resumed result document to be byte-identical to a fresh
+# single-shard serial run. Exercises the exact crash path the in-test
+# OnFrame hook cannot: a process that dies without deferred cleanup.
+FLEET_TMP := $(shell mktemp -d /tmp/fleet-smoke.XXXXXX)
+fleet-smoke:
+	$(GO) build -o $(FLEET_TMP)/tables ./cmd/tables
+	-$(FLEET_TMP)/tables -what fleet -scale small -shards 4 -shard-procs 2 \
+		-checkpoint-dir $(FLEET_TMP)/ckpt -checkpoint-every 8 \
+		-fleet-kill-after 2 -result-out $(FLEET_TMP)/killed.json >/dev/null 2>&1
+	$(FLEET_TMP)/tables -what fleet -scale small -shards 4 -shard-procs 2 \
+		-checkpoint-dir $(FLEET_TMP)/ckpt -checkpoint-every 8 \
+		-result-out $(FLEET_TMP)/resumed.json >/dev/null
+	$(FLEET_TMP)/tables -what fleet -scale small -shards 1 -shard-procs 1 \
+		-result-out $(FLEET_TMP)/serial.json >/dev/null
+	cmp $(FLEET_TMP)/resumed.json $(FLEET_TMP)/serial.json
+	@echo "fleet-smoke: kill/resume result is bit-identical to serial"
+	@rm -rf $(FLEET_TMP)

@@ -12,17 +12,28 @@
 // recorder of one failing trial. -what bench measures the trial hot
 // path and the serial/parallel campaign loops and writes the report to
 // -bench-out (BENCH_netem.json); -what bench-compare OLD.json NEW.json
-// diffs two such reports.
+// diffs two such reports; -what bench-gate COMMITTED.json re-measures
+// allocs/trial and fails when it regresses past the committed figure.
+//
+// -what fleet runs the Table 1 campaign as a sharded, checkpointed
+// fleet: -shards cuts the job cube, -shard-procs bounds concurrency,
+// and -checkpoint-dir journals per-shard frames so a killed campaign
+// resumes from where it stopped (same dir, same flags) with results
+// bit-identical to an uninterrupted run. -progress with an address
+// serves the fleet plane: /shards, /progress, /metrics, /timeseries,
+// /manifest.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"syscall"
 	"time"
 
 	"intango/internal/core"
 	"intango/internal/experiment"
+	"intango/internal/fleet"
 
 	// Registers the -progress HTTP endpoint implementation; the
 	// experiment package itself stays free of net/http.
@@ -33,14 +44,21 @@ import (
 
 func main() {
 	var (
-		what      = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,health,goodput,bench,bench-compare,figures,strategies,censors,topo")
+		what      = flag.String("what", "all", "which artifact: all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,health,fleet,goodput,bench,bench-compare,bench-gate,figures,strategies,censors,topo")
 		scale     = flag.String("scale", "quick", "campaign scale: quick, mid, paper")
 		seed      = flag.Int64("seed", 42, "population/campaign seed")
 		benchOut  = flag.String("bench-out", "BENCH_netem.json", "report path for -what bench")
 		strategy  = flag.String("strategy", "teardown-rst/ttl", "strategy for -what explain")
 		traceDir  = flag.String("trace-dir", "", "directory for causal trace bundles (-what explain and diagnose); empty skips writing")
-		progress  = flag.String("progress", "", "emit live campaign progress during -what obs or health: 'stderr' or an HTTP listen address like 127.0.0.1:8391")
-		healthDir = flag.String("health-dir", "", "directory for the health.json/health.txt artifact pair (-what health); empty skips writing")
+		progress  = flag.String("progress", "", "emit live campaign progress during -what obs, health, or fleet: 'stderr' or an HTTP listen address like 127.0.0.1:8391")
+		healthDir = flag.String("health-dir", "", "directory for the health.json/health.txt artifact pair (-what health or fleet); empty skips writing")
+
+		shards        = flag.Int("shards", 8, "shard count for -what fleet")
+		shardProcs    = flag.Int("shard-procs", 4, "concurrent shards for -what fleet")
+		checkpointDir = flag.String("checkpoint-dir", "", "checkpoint directory for -what fleet: frames are journaled there and an interrupted campaign resumes from them; empty disables checkpointing")
+		ckptEvery     = flag.Int("checkpoint-every", experiment.DefaultCheckpointEvery, "trials between checkpoint frames for -what fleet")
+		resultOut     = flag.String("result-out", "", "path for the deterministic fleet result artifact (-what fleet); empty skips writing")
+		killAfter     = flag.Int("fleet-kill-after", 0, "SIGKILL this process after N checkpoint frames (-what fleet crash-recovery drills); 0 disables")
 	)
 	flag.Parse()
 
@@ -234,6 +252,75 @@ func main() {
 			fmt.Printf("wrote %d health artifact files under %s\n", len(paths), *healthDir)
 		}
 	}
+	// Strict equality: the fleet campaign duplicates Table 1, so
+	// "-what all" must not pick it up.
+	if *what == "fleet" {
+		ran = true
+		opts := fleet.Options{
+			Shards:          *shards,
+			Procs:           *shardProcs,
+			Dir:             *checkpointDir,
+			CheckpointEvery: *ckptEvery,
+		}
+		if *progress != "" {
+			opts.W = os.Stderr
+			if *progress != "stderr" {
+				opts.HTTPAddr = *progress
+			}
+		}
+		if *killAfter > 0 {
+			n := *killAfter
+			opts.OnFrame = func(_, total int) error {
+				if total >= n {
+					fmt.Fprintf(os.Stderr, "fleet: kill drill: SIGKILL after %d frames\n", total)
+					_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+				}
+				return nil
+			}
+		}
+		coord, err := fleet.New(r, sc, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		res, err := coord.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			os.Exit(1)
+		}
+		wall := time.Since(start)
+		fmt.Printf("== Table 1 via fleet (%d shards × %d procs, %d VPs × %d servers × %d trials) ==\n",
+			len(res.Plan.Shards), *shardProcs, sc.VPs, sc.Servers, sc.Trials)
+		fmt.Print(experiment.FormatTable1(res.Rows))
+		fmt.Println()
+		h := res.Health("table1-fleet-"+*scale, *shardProcs, wall)
+		fmt.Print(experiment.FormatHealth(h))
+		if *healthDir != "" {
+			paths, err := experiment.WriteHealthArtifacts(*healthDir, h)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "write health artifacts: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d health artifact files under %s\n", len(paths), *healthDir)
+		}
+		if *resultOut != "" {
+			f, err := os.Create(*resultOut)
+			if err == nil {
+				if werr := res.WriteJSON(f); werr != nil {
+					err = werr
+				}
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *resultOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *resultOut)
+		}
+	}
 	// Strict equality: the goodput matrix is a congestion demo, not a
 	// paper table, so "-what all" must not pick it up.
 	if *what == "goodput" {
@@ -287,6 +374,37 @@ func main() {
 		}
 		fmt.Print(experiment.CompareBenchReports(load(args[0]), load(args[1])))
 	}
+	// CI gate: re-measure allocs/trial against the committed report and
+	// fail the build past the tolerance. Allocation counts are
+	// deterministic, so this holds on loaded CI machines where ns/op
+	// cannot.
+	if *what == "bench-gate" {
+		ran = true
+		args := flag.Args()
+		if len(args) != 1 {
+			fmt.Fprintln(os.Stderr, "usage: tables -what bench-gate COMMITTED.json")
+			os.Exit(2)
+		}
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "open %s: %v\n", args[0], err)
+			os.Exit(1)
+		}
+		committed, err := experiment.ReadBenchJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parse %s: %v\n", args[0], err)
+			os.Exit(1)
+		}
+		measured, limit, ok := experiment.RunBenchGate(*seed, committed, 0)
+		fmt.Printf("bench-gate: trial allocs/op measured=%d committed=%d limit=%d (%.0f%% tolerance)\n",
+			measured, committed.Trial.AllocsPerOp, limit, 100*experiment.BenchGateTolerance)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench-gate: FAIL: allocs/trial regressed past the committed budget; rerun -what bench and commit the new report if the regression is intended\n")
+			os.Exit(1)
+		}
+		fmt.Println("bench-gate: OK")
+	}
 	// Reference dump, not a paper artifact: "-what all" skips it.
 	if *what == "strategies" {
 		ran = true
@@ -312,7 +430,7 @@ func main() {
 		fmt.Println(experiment.Figure4(r))
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,health,goodput,bench,bench-compare,figures,strategies,censors,topo\n", *what)
+		fmt.Fprintf(os.Stderr, "unknown -what %q; pick from all,1,2,3,4,5,6,tor,vpn,ablation,diagnose,explain,obs,health,fleet,goodput,bench,bench-compare,bench-gate,figures,strategies,censors,topo\n", *what)
 		os.Exit(2)
 	}
 }

@@ -204,6 +204,35 @@ func RunBench(seed int64) BenchReport {
 	return rep
 }
 
+// BenchGateTolerance is the allocs/trial regression budget the CI
+// bench gate allows over the committed report before failing.
+const BenchGateTolerance = 0.05
+
+// RunBenchGate re-measures the single-trial hot path's allocs/op and
+// judges it against the committed report's figure with the given
+// fractional tolerance (<=0 selects BenchGateTolerance). It measures
+// only allocation counts — deterministic under Go's allocator, unlike
+// ns/op — so the gate holds on loaded CI machines.
+func RunBenchGate(seed int64, committed BenchReport, tolerance float64) (measured, limit int64, ok bool) {
+	if tolerance <= 0 {
+		tolerance = BenchGateTolerance
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		r := NewRunner(seed)
+		vp := VantagePoints()[0]
+		srv := Servers(1, r.Cal, seed)[0]
+		factory := core.BuiltinFactories()["teardown-rst/ttl"]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.RunOne(vp, srv, factory, true, i)
+		}
+	})
+	measured = res.AllocsPerOp()
+	limit = int64(float64(committed.Trial.AllocsPerOp) * (1 + tolerance))
+	return measured, limit, measured <= limit
+}
+
 // WriteBenchJSON renders the report as indented JSON (the
 // BENCH_netem.json format).
 func WriteBenchJSON(w io.Writer, rep BenchReport) error {

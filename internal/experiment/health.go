@@ -36,6 +36,12 @@ type HealthReport struct {
 	Goodput    *GoodputHealth    `json:"goodput,omitempty"`
 	Evictions  []EvictionRate    `json:"evictions,omitempty"`
 
+	// Shards and Resume are present only for sharded (fleet) campaigns:
+	// the per-shard outcome table and the summary of what a resumed run
+	// replayed from its checkpoint journal.
+	Shards []ShardHealth `json:"shards,omitempty"`
+	Resume *ResumeHealth `json:"resume,omitempty"`
+
 	Pool          PoolHealth `json:"pool"`
 	SeriesSamples int        `json:"series_samples"`
 	SeriesDropped uint64     `json:"series_dropped,omitempty"`
@@ -74,6 +80,26 @@ type GoodputHealth struct {
 	MeanBps   float64 `json:"mean_bps"`
 	P50Bps    uint64  `json:"p50_bps"`
 	P90Bps    uint64  `json:"p90_bps"`
+}
+
+// ShardHealth is one fleet shard's slice of the report.
+type ShardHealth struct {
+	ID      int    `json:"id"`
+	State   string `json:"state"`
+	Jobs    int    `json:"jobs"`
+	Done    int64  `json:"done"`
+	Success int64  `json:"success"`
+	Frames  int    `json:"frames"`
+	Resumed bool   `json:"resumed,omitempty"`
+}
+
+// ResumeHealth summarises what a resumed fleet campaign recovered from
+// its checkpoint directory instead of re-running.
+type ResumeHealth struct {
+	ResumedShards     int `json:"resumed_shards"`
+	CompletedShards   int `json:"completed_shards"`
+	ReplayedTrials    int `json:"replayed_trials"`
+	QuarantinedFrames int `json:"quarantined_frames,omitempty"`
 }
 
 // PoolHealth summarises packet-pool recycling over the campaign.
@@ -146,6 +172,24 @@ func (r *Runner) BuildHealthReport(campaign string, wall time.Duration) HealthRe
 		h.Pool.RecycledPct = 100 * float64(ps.Recycled()) / float64(ps.Gets)
 	}
 	return h
+}
+
+// FillFromSnapshot populates the snapshot-derived report sections —
+// stage latencies, goodput, eviction rates — from a merged registry
+// snapshot. The fleet coordinator uses it to build the same health
+// digest from checkpoint-merged state that BuildHealthReport builds
+// from a live runner. Set Trials first: eviction rates normalise by it.
+func (h *HealthReport) FillFromSnapshot(snap obs.Snapshot) {
+	h.Stages = stageLatencies(snap)
+	if hs, ok := snap.Histograms["goodput.bps"]; ok && hs.Count > 0 {
+		h.Goodput = &GoodputHealth{
+			Transfers: hs.Count,
+			MeanBps:   hs.Mean(),
+			P50Bps:    hs.Quantile(0.50),
+			P90Bps:    hs.Quantile(0.90),
+		}
+	}
+	h.Evictions = evictionRates(snap, h.Trials)
 }
 
 // stageLatencies extracts the "span.*" histograms in a fixed stage
@@ -255,6 +299,26 @@ func FormatHealth(h HealthReport) string {
 	if g := h.Goodput; g != nil {
 		fmt.Fprintf(&b, "goodput: %d transfers, mean=%.0f bps, p50<=%d p90<=%d (bucket bounds)\n",
 			g.Transfers, g.MeanBps, g.P50Bps, g.P90Bps)
+	}
+	if len(h.Shards) > 0 {
+		b.WriteString("shards:\n")
+		fmt.Fprintf(&b, "  %4s %-13s %7s %7s %7s %7s %s\n", "id", "state", "jobs", "done", "succ", "frames", "")
+		for _, s := range h.Shards {
+			note := ""
+			if s.Resumed {
+				note = "resumed"
+			}
+			fmt.Fprintf(&b, "  %4d %-13s %7d %7d %7d %7d %s\n",
+				s.ID, s.State, s.Jobs, s.Done, s.Success, s.Frames, note)
+		}
+	}
+	if r := h.Resume; r != nil {
+		fmt.Fprintf(&b, "resume: %d shards replayed complete, %d resumed mid-range, %d trials recovered from checkpoints",
+			r.CompletedShards, r.ResumedShards, r.ReplayedTrials)
+		if r.QuarantinedFrames > 0 {
+			fmt.Fprintf(&b, ", %d frames quarantined", r.QuarantinedFrames)
+		}
+		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "packet pool: gets=%d news=%d recycled=%d (%.1f%%)\n",
 		h.Pool.Gets, h.Pool.News, h.Pool.Recycled, h.Pool.RecycledPct)

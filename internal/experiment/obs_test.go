@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"encoding/json"
 	"reflect"
 	"testing"
 
@@ -73,6 +74,22 @@ func TestObsSerialParallelDeterminism(t *testing.T) {
 	}
 	if obsSerial.Trials() != obsPar.Trials() {
 		t.Errorf("trials differ: %d vs %d", obsSerial.Trials(), obsPar.Trials())
+	}
+	// Checkpoint codec arm: the snapshot must survive the frame JSON
+	// round trip and fold into a fresh registry bit-for-bit — the
+	// invariant every fleet checkpoint/resume cycle leans on.
+	frame, err := json.Marshal(snapS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded obs.Snapshot
+	if err := json.Unmarshal(frame, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	replayed := obs.NewRegistry()
+	replayed.MergeSnapshot(decoded)
+	if got := replayed.Snapshot(); !reflect.DeepEqual(got, snapS) {
+		t.Errorf("snapshot encode→decode→Merge round trip diverged:\ngot:  %+v\nwant: %+v", got, snapS)
 	}
 	aggS, aggP := obsSerial.Aggregate(0), obsPar.Aggregate(0)
 	if aggS.TotalEvents != aggP.TotalEvents ||

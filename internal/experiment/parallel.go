@@ -88,30 +88,11 @@ func (r *Runner) RunParallel(jobs []trialJob, tallies []*Tally) {
 }
 
 // RunTable1Parallel is RunTable1 with trials fanned out across CPUs.
-// Results are identical to the serial runner for the same seed.
+// Results are identical to the serial runner for the same seed. The job
+// enumeration lives in Table1Cube, shared with the fleet shard
+// coordinator, so a sharded campaign partitions exactly this job list.
 func RunTable1Parallel(r *Runner, scale Scale) []Table1Row {
-	vps := VantagePoints()[:min(scale.VPs, 11)]
-	servers := Servers(scale.Servers, r.Cal, r.Seed)
-	specs := table1Strategies()
-	rows := make([]Table1Row, len(specs))
-	tallies := make([]*Tally, 2*len(specs))
-	var jobs []trialJob
-	for i, spec := range specs {
-		rows[i] = Table1Row{Strategy: spec.group, Discrepancy: spec.disc}
-		tallies[2*i] = &rows[i].Sensitive
-		tallies[2*i+1] = &rows[i].Clean
-		factory := spec.compile()
-		for _, vp := range vps {
-			for _, srv := range servers {
-				for trial := 0; trial < scale.Trials; trial++ {
-					jobs = append(jobs, trialJob{vp, srv, factory, true, trial, 2 * i, spec.name})
-					jobs = append(jobs, trialJob{vp, srv, factory, false, trial + scale.Trials, 2*i + 1, spec.name})
-				}
-			}
-		}
-	}
-	r.RunParallel(jobs, tallies)
-	return rows
+	return r.runParallelCube(Table1Cube(r, scale))
 }
 
 // RunTable4Parallel fans the Table 4 strategy rows across CPUs.

@@ -250,8 +250,9 @@ func (t *progressTracker) snapshot() ProgressSnapshot {
 	return s
 }
 
-// line renders a one-line human summary of a snapshot.
-func (s ProgressSnapshot) line() string {
+// Line renders a one-line human summary of a snapshot (the periodic
+// progress line; the fleet coordinator reuses it for its own ticker).
+func (s ProgressSnapshot) Line() string {
 	pct := 0.0
 	if s.Total > 0 {
 		pct = 100 * float64(s.Done) / float64(s.Total)
@@ -273,7 +274,7 @@ func (t *progressTracker) loop(interval time.Duration) {
 		case <-tick.C:
 			t.sample()
 			if t.opts.W != nil {
-				fmt.Fprintln(t.opts.W, t.snapshot().line())
+				fmt.Fprintln(t.opts.W, t.snapshot().Line())
 			}
 		case <-t.stop:
 			return
@@ -310,7 +311,7 @@ func (t *progressTracker) finish() {
 		t.stopSrv()
 	}
 	if t.opts.W != nil {
-		fmt.Fprintln(t.opts.W, t.snapshot().line())
+		fmt.Fprintln(t.opts.W, t.snapshot().Line())
 	}
 }
 

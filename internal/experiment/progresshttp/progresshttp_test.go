@@ -5,11 +5,13 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"intango/internal/experiment"
 	"intango/internal/experiment/progresshttp"
+	"intango/internal/fleet"
 	"intango/internal/obs"
 )
 
@@ -166,4 +168,197 @@ func TestTimeseriesMidCampaign(t *testing.T) {
 	if _, ok := ts.Points[0].Values["done"]; !ok {
 		t.Fatalf("sample missing done value: %+v", ts.Points[0])
 	}
+}
+
+// TestServeFleet drives the fleet plane against fixed feeds: /shards,
+// /progress, /metrics (shard labels + fleet rollups), /timeseries
+// (stitched per-shard curves), and /manifest.
+func TestServeFleet(t *testing.T) {
+	feeds := fleet.Feeds{
+		Shards: func() fleet.ShardsView {
+			return fleet.ShardsView{
+				Campaign: "table1", Total: 40, Done: 13, ShardsDone: 1,
+				Shards: []fleet.ShardStatus{
+					{ID: 0, State: "done", JobStart: 0, JobEnd: 10, Cursor: 10, Done: 10, Success: 7, Frames: 2},
+					{ID: 1, State: "running", JobStart: 10, JobEnd: 20, Cursor: 13, Done: 3, Success: 2, Frames: 1, LastFrameAgeSec: 0.5, Resumed: true},
+				},
+			}
+		},
+		Progress: func() experiment.ProgressSnapshot {
+			return experiment.ProgressSnapshot{Done: 13, Total: 40, Success: 9}
+		},
+		Metrics: func() string {
+			return "fleet_shards 2\nshard_done{shard=\"0\"} 10\nshard_done{shard=\"1\"} 3\n"
+		},
+		Series: func() fleet.SeriesView {
+			return fleet.SeriesView{
+				Fleet: obs.TimeSeriesSnapshot{Points: []obs.SeriesPoint{{T: 0, Values: map[string]float64{"done": 0}}}},
+				Shards: map[string]obs.TimeSeriesSnapshot{
+					"0": {Points: []obs.SeriesPoint{{T: 0.1, Values: map[string]float64{"done": 10}}}},
+				},
+			}
+		},
+		Manifest: func() fleet.Manifest {
+			return fleet.Manifest{Version: 1, Campaign: "table1", Seed: 42, TotalJobs: 40}
+		},
+	}
+	stop, addr := progresshttp.ServeFleet(feeds, nil, "127.0.0.1:0")
+	if addr == "" {
+		t.Fatal("no fleet plane bound")
+	}
+	defer stop()
+
+	var sv fleet.ShardsView
+	getJSON(t, addr, "/shards", &sv)
+	if len(sv.Shards) != 2 || sv.Shards[1].State != "running" || !sv.Shards[1].Resumed {
+		t.Fatalf("/shards = %+v", sv)
+	}
+	var prog experiment.ProgressSnapshot
+	getJSON(t, addr, "/progress", &prog)
+	if prog.Done != 13 || prog.Total != 40 {
+		t.Fatalf("/progress = %+v", prog)
+	}
+	var series fleet.SeriesView
+	getJSON(t, addr, "/timeseries", &series)
+	if len(series.Shards["0"].Points) != 1 {
+		t.Fatalf("/timeseries = %+v", series)
+	}
+	var man fleet.Manifest
+	getJSON(t, addr, "/manifest", &man)
+	if man.Campaign != "table1" || man.Seed != 42 {
+		t.Fatalf("/manifest = %+v", man)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `shard_done{shard="1"} 3`) {
+		t.Fatalf("/metrics missing shard label:\n%s", body)
+	}
+}
+
+func getJSON(t *testing.T, addr, path string, into any) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("%s content type %q", path, ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("decode %s: %v", path, err)
+	}
+}
+
+// TestFleetPlaneLiveCampaign: a real coordinator with HTTPAddr set
+// binds the plane through the init-registered hook; the fleet metrics
+// exposition carries shard labels and the manifest carries canonical
+// strategy specs — scraped live, mid-campaign, via the OnFrame hook.
+func TestFleetPlaneLiveCampaign(t *testing.T) {
+	r := experiment.NewRunner(42)
+	var coord *fleet.Coordinator
+	scraped := make(chan string, 1)
+	opts := fleet.Options{
+		Shards: 2, Procs: 1, CheckpointEvery: 8, HTTPAddr: "127.0.0.1:0",
+		OnFrame: func(_, total int) error {
+			if total == 1 {
+				resp, err := http.Get("http://" + coord.Addr() + "/metrics")
+				if err != nil {
+					t.Errorf("mid-campaign scrape: %v", err)
+					return nil
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				select {
+				case scraped <- string(body):
+				default:
+				}
+			}
+			return nil
+		},
+	}
+	var err error
+	coord, err = fleet.New(r, experiment.Scale{VPs: 1, Servers: 1, Trials: 1}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials == 0 {
+		t.Fatal("campaign ran no trials")
+	}
+	select {
+	case text := <-scraped:
+		for _, want := range []string{"fleet_shards 2", `shard_cursor{shard="0"}`, "# TYPE shard_done gauge", "trials_total"} {
+			if !strings.Contains(text, want) {
+				t.Errorf("live /metrics missing %q:\n%s", want, text)
+			}
+		}
+	default:
+		t.Fatal("no mid-campaign scrape happened")
+	}
+}
+
+// TestFleetPlaneConcurrentScrapeShutdown hammers every fleet endpoint
+// from several goroutines while the campaign runs to completion and
+// the coordinator tears the server down — the race detector's view of
+// the scrape/shutdown window. Requests failing after shutdown are fine;
+// data races and panics are not.
+func TestFleetPlaneConcurrentScrapeShutdown(t *testing.T) {
+	r := experiment.NewRunner(7)
+	coord, err := fleet.New(r, experiment.Scale{VPs: 1, Servers: 2, Trials: 1}, fleet.Options{
+		Shards: 3, Procs: 2, CheckpointEvery: 4, HTTPAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		close(started)
+		if _, err := coord.Run(); err != nil {
+			t.Errorf("fleet run: %v", err)
+		}
+	}()
+	<-started
+	var addr string
+	for i := 0; i < 2000 && addr == ""; i++ {
+		addr = coord.Addr()
+		time.Sleep(time.Millisecond)
+	}
+	if addr == "" {
+		<-done
+		t.Skip("campaign finished before the plane bound")
+	}
+	var wg sync.WaitGroup
+	for _, path := range []string{"/shards", "/progress", "/metrics", "/timeseries", "/manifest"} {
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(p string) {
+				defer wg.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					resp, err := http.Get("http://" + addr + p)
+					if err != nil {
+						return // server shut down mid-scrape: expected
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}(path)
+		}
+	}
+	<-done
+	wg.Wait()
 }

@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"intango/internal/experiment"
+	"intango/internal/obs"
+)
+
+// ShardStatus is one shard's live row in the /shards view: where it is
+// in the pending → running → checkpointed → done (or failed) state
+// machine, its trial cursor, and how stale its last checkpoint frame
+// is.
+type ShardStatus struct {
+	ID       int    `json:"id"`
+	State    string `json:"state"`
+	JobStart int    `json:"job_start"`
+	JobEnd   int    `json:"job_end"`
+	Cursor   int    `json:"cursor"`
+	Done     int64  `json:"done"`
+	Success  int64  `json:"success"`
+	Frames   int    `json:"frames"`
+	// LastFrameAgeSec is seconds since the shard last journaled a
+	// frame; absent until the first frame.
+	LastFrameAgeSec float64 `json:"last_frame_age_sec,omitempty"`
+	// Resumed marks a shard restored from a checkpoint frame.
+	Resumed bool `json:"resumed,omitempty"`
+	// Error carries the failure reason for failed shards.
+	Error string `json:"error,omitempty"`
+}
+
+// ShardsView is the /shards payload: the fleet state machine plus the
+// campaign-level rollup counts.
+type ShardsView struct {
+	Campaign   string        `json:"campaign"`
+	Total      int           `json:"total_jobs"`
+	Done       int64         `json:"done"`
+	ShardsDone int           `json:"shards_done"`
+	Shards     []ShardStatus `json:"shards"`
+}
+
+// SeriesView is the /timeseries payload: the fleet-level sampled curve
+// plus each shard's checkpoint-stitched curve, keyed by shard ID.
+type SeriesView struct {
+	Fleet  obs.TimeSeriesSnapshot            `json:"fleet"`
+	Shards map[string]obs.TimeSeriesSnapshot `json:"shards"`
+}
+
+// Feeds bundles the live views a fleet server exposes. All closures
+// are safe to call concurrently with the running campaign; they read
+// atomics and mutex-guarded shard fields, never the trial hot path.
+type Feeds struct {
+	Shards   func() ShardsView
+	Progress func() experiment.ProgressSnapshot
+	Metrics  func() string
+	Series   func() SeriesView
+	Manifest func() Manifest
+}
+
+// fleetServer, when registered, serves the fleet plane over HTTP. Like
+// the progress server it lives behind a hook so this package never
+// imports net/http (see experiment.RegisterProgressServer for why).
+var fleetServer func(feeds Feeds, diag io.Writer, addr string) (stop func(), bound string)
+
+// RegisterServer installs the HTTP serving implementation used when
+// Options.HTTPAddr is set. The progresshttp package registers itself
+// from init; programs that want the endpoints import it.
+func RegisterServer(f func(feeds Feeds, diag io.Writer, addr string) (stop func(), bound string)) {
+	fleetServer = f
+}
+
+// metricsText renders the fleet /metrics view: the campaign-level
+// progress families plus fleet rollups and per-shard families carrying
+// a shard label.
+func metricsText(prog experiment.ProgressSnapshot, sv ShardsView) string {
+	var b strings.Builder
+	b.WriteString(prog.MetricsText())
+	gauge := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	gauge("fleet_shards", "Shards in the campaign plan.")
+	fmt.Fprintf(&b, "fleet_shards %d\n", len(sv.Shards))
+	gauge("fleet_shards_done", "Shards that completed their job range.")
+	fmt.Fprintf(&b, "fleet_shards_done %d\n", sv.ShardsDone)
+	gauge("shard_done", "Trials completed per shard.")
+	for _, s := range sv.Shards {
+		fmt.Fprintf(&b, "shard_done{shard=\"%d\"} %d\n", s.ID, s.Done)
+	}
+	gauge("shard_success", "Successful trials per shard.")
+	for _, s := range sv.Shards {
+		fmt.Fprintf(&b, "shard_success{shard=\"%d\"} %d\n", s.ID, s.Success)
+	}
+	gauge("shard_cursor", "Absolute next-job cursor per shard.")
+	for _, s := range sv.Shards {
+		fmt.Fprintf(&b, "shard_cursor{shard=\"%d\"} %d\n", s.ID, s.Cursor)
+	}
+	gauge("shard_frames", "Checkpoint frames journaled per shard.")
+	for _, s := range sv.Shards {
+		fmt.Fprintf(&b, "shard_frames{shard=\"%d\"} %d\n", s.ID, s.Frames)
+	}
+	gauge("shard_last_frame_age_seconds", "Seconds since the shard last journaled a frame.")
+	for _, s := range sv.Shards {
+		if s.Frames > 0 {
+			fmt.Fprintf(&b, "shard_last_frame_age_seconds{shard=\"%d\"} %g\n", s.ID, s.LastFrameAgeSec)
+		}
+	}
+	gauge("shard_state", "Shard state machine (1 = current state).")
+	for _, s := range sv.Shards {
+		fmt.Fprintf(&b, "shard_state{shard=\"%d\",state=\"%s\"} 1\n", s.ID, obs.PromLabel(s.State))
+	}
+	return b.String()
+}

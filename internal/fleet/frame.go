@@ -1,0 +1,215 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"intango/internal/experiment"
+	"intango/internal/obs"
+)
+
+// FrameVersion is the checkpoint frame schema version. A frame with a
+// different version is quarantined on load, never guessed at.
+const FrameVersion = 1
+
+// FailureRef identifies one retained failing trial — the checkpoint
+// frame's weight-free stand-in for a full flight-recorder trace. Refs
+// sort by the same total trial order the sink uses, so the min-N set
+// that survives a kill/resume is identical to the uninterrupted one.
+type FailureRef struct {
+	Strategy  string `json:"strategy"`
+	VP        string `json:"vp"`
+	Server    string `json:"server"`
+	Sensitive bool   `json:"sensitive,omitempty"`
+	Trial     int    `json:"trial"`
+	Outcome   string `json:"outcome"`
+}
+
+// Frame is one cumulative checkpoint of a shard: everything needed to
+// resume the shard from Cursor with merged results bit-identical to an
+// uninterrupted run. Frames are journaled one-per-line (JSONL); each
+// supersedes all earlier frames for the shard, so a loader only ever
+// needs the last valid line.
+type Frame struct {
+	Version  int    `json:"version"`
+	Campaign string `json:"campaign"`
+	Shard    int    `json:"shard"`
+	// Cursor is the absolute index of the next job to run; jobs
+	// [JobStart, Cursor) are folded into this frame.
+	Cursor int  `json:"cursor"`
+	Final  bool `json:"final,omitempty"`
+	// Tallies is the shard's full tally vector (cube layout).
+	Tallies []experiment.Tally `json:"tallies"`
+	// Obs is the shard registry snapshot — counters, gauges, and
+	// histograms, all of which fold through the commutative merge.
+	Obs obs.Snapshot `json:"obs"`
+	// Failures is the shard's retained min-N failing-trial set as refs.
+	Failures []FailureRef `json:"failures,omitempty"`
+	// Series is the shard's progress curve so far. Every frame carries
+	// a terminal sample at its own cut point, so a resumed /timeseries
+	// has no gap at the kill.
+	Series obs.TimeSeriesSnapshot `json:"series"`
+}
+
+// sortRefs orders refs by the sink's total trial order
+// (Strategy, VP, Server, Sensitive, Trial).
+func sortRefs(refs []FailureRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		a, b := refs[i], refs[j]
+		if a.Strategy != b.Strategy {
+			return a.Strategy < b.Strategy
+		}
+		if a.VP != b.VP {
+			return a.VP < b.VP
+		}
+		if a.Server != b.Server {
+			return a.Server < b.Server
+		}
+		if a.Sensitive != b.Sensitive {
+			return !a.Sensitive
+		}
+		return a.Trial < b.Trial
+	})
+}
+
+// refsFromTraces projects retained traces down to refs.
+func refsFromTraces(ts []experiment.TrialTrace) []FailureRef {
+	refs := make([]FailureRef, len(ts))
+	for i, t := range ts {
+		refs[i] = FailureRef{
+			Strategy: t.Strategy, VP: t.VP, Server: t.Server,
+			Sensitive: t.Sensitive, Trial: t.Trial,
+			Outcome: t.Outcome.String(),
+		}
+	}
+	return refs
+}
+
+// mergeRefs unions two ref sets, sorts by the total trial order, and
+// keeps the smallest max entries — the same min-N retention rule the
+// sink applies to traces, so restored-then-fresh refs converge to the
+// uninterrupted set.
+func mergeRefs(a, b []FailureRef, max int) []FailureRef {
+	out := append(append([]FailureRef(nil), a...), b...)
+	sortRefs(out)
+	// A trial can appear in both the restored set and (never, in
+	// practice, since resume re-runs no trial — but cheap to guard) the
+	// fresh set; drop adjacent duplicates after sorting.
+	dedup := out[:0]
+	for i, r := range out {
+		if i == 0 || r != out[i-1] {
+			dedup = append(dedup, r)
+		}
+	}
+	out = dedup
+	if max > 0 && len(out) > max {
+		out = out[:max:max]
+	}
+	return out
+}
+
+// journalPath names shard id's checkpoint journal inside dir.
+func journalPath(dir string, id int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.ckpt.jsonl", id))
+}
+
+// journalLoad replays shard id's journal and returns the last valid
+// frame (nil when none), how many valid frames it holds, and how many
+// lines were quarantined — malformed JSON, wrong version or campaign or
+// shard, or a cursor outside [start, end]. Truncated tails (a kill
+// mid-write) land in the quarantined count; the preceding complete
+// frame still wins. A missing journal is simply (nil, 0, 0).
+func journalLoad(dir, campaign string, id, start, end int) (last *Frame, frames, quarantined int, err error) {
+	data, rerr := os.ReadFile(journalPath(dir, id))
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return nil, 0, 0, nil
+		}
+		return nil, 0, 0, rerr
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var f Frame
+		if jerr := json.Unmarshal(line, &f); jerr != nil {
+			quarantined++
+			continue
+		}
+		if f.Version != FrameVersion || f.Campaign != campaign || f.Shard != id ||
+			f.Cursor < start || f.Cursor > end {
+			quarantined++
+			continue
+		}
+		frames++
+		last = &f
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, 0, 0, serr
+	}
+	return last, frames, quarantined, nil
+}
+
+// quarantineJournal moves a journal that contained invalid lines aside
+// (shard-NNNN.ckpt.jsonl.quarantined) so the shard re-journals cleanly
+// from its last good frame; the damaged evidence is kept for autopsy,
+// never silently deleted.
+func quarantineJournal(dir string, id int) error {
+	src := journalPath(dir, id)
+	dst := src + ".quarantined"
+	_ = os.Remove(dst)
+	return os.Rename(src, dst)
+}
+
+// journalWriter appends frames to a shard journal, one JSON line per
+// frame, fsync-free (the checkpoint cadence is the durability unit; a
+// torn tail line is exactly what the loader quarantines).
+type journalWriter struct {
+	f *os.File
+}
+
+// openJournal opens shard id's journal for appending, creating it (and
+// dir) as needed. seed, when non-nil, re-journals the last good frame
+// first — the recovery step after quarantining a damaged journal.
+func openJournal(dir string, id int, seed *Frame) (*journalWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(journalPath(dir, id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &journalWriter{f: f}
+	if seed != nil {
+		if err := w.append(*seed); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+func (w *journalWriter) append(f Frame) error {
+	b, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.f.Write(b)
+	return err
+}
+
+func (w *journalWriter) close() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	return w.f.Close()
+}

@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"intango/internal/censor"
+	"intango/internal/experiment"
+	"intango/internal/topo"
+)
+
+// ManifestVersion is the provenance document schema version.
+const ManifestVersion = 1
+
+// Manifest is the campaign's provenance document: everything needed to
+// tie a checkpoint directory (and the results folded out of it) back to
+// the exact inputs that produced it. Every spec string is canonical —
+// round-tripped through its grammar — so two manifests are comparable
+// byte-for-byte regardless of how the operator spelled the inputs.
+type Manifest struct {
+	Version   int              `json:"version"`
+	Campaign  string           `json:"campaign"`
+	Seed      int64            `json:"seed"`
+	Scale     experiment.Scale `json:"scale"`
+	TotalJobs int              `json:"total_jobs"`
+	// Strategies is the campaign strategy set in cube order, each with
+	// its canonical strategy-spec text.
+	Strategies []experiment.StrategySpec `json:"strategies"`
+	// Censor is the canonical censor-spec text ("" = default GFW
+	// population from the calibration).
+	Censor string `json:"censor,omitempty"`
+	// Topo is the canonical topology-spec text ("" = linear path).
+	Topo string `json:"topo,omitempty"`
+	// Shards is the shard plan the campaign was cut into.
+	Shards []ShardPlan `json:"shards"`
+	// Started is the wall-clock start (RFC3339). Excluded from the
+	// compatibility fingerprint: a resumed campaign keeps the original.
+	Started string `json:"started,omitempty"`
+}
+
+// buildManifest assembles the provenance document for (r, sc, plan),
+// canonicalizing the censor and topology specs through their grammars.
+func buildManifest(r *experiment.Runner, sc experiment.Scale, plan Plan) (Manifest, error) {
+	m := Manifest{
+		Version:    ManifestVersion,
+		Campaign:   plan.Campaign,
+		Seed:       r.Seed,
+		Scale:      sc,
+		TotalJobs:  plan.TotalJobs,
+		Strategies: experiment.Table1StrategySpecs(),
+		Shards:     plan.Shards,
+	}
+	if r.Censor != "" {
+		c, err := censor.Resolve(r.Censor)
+		if err != nil {
+			return Manifest{}, fmt.Errorf("manifest: censor %q: %w", r.Censor, err)
+		}
+		m.Censor = c.Spec().String()
+	}
+	if r.Topo != "" {
+		t, err := topo.ParseTopo(r.Topo)
+		if err != nil {
+			return Manifest{}, fmt.Errorf("manifest: topo: %w", err)
+		}
+		m.Topo = t.String()
+	}
+	return m, nil
+}
+
+// fingerprint is the manifest's identity for resume compatibility:
+// everything except the start time, serialized canonically.
+func (m Manifest) fingerprint() string {
+	m.Started = ""
+	b, err := json.Marshal(m)
+	if err != nil {
+		panic(fmt.Sprintf("fleet: manifest fingerprint: %v", err))
+	}
+	return string(b)
+}
+
+// manifestPath names the provenance document inside a checkpoint dir.
+func manifestPath(dir string) string { return filepath.Join(dir, "manifest.json") }
+
+// loadManifest reads dir's manifest; (zero, false, nil) when absent.
+func loadManifest(dir string) (Manifest, bool, error) {
+	data, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Manifest{}, false, nil
+		}
+		return Manifest{}, false, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, false, fmt.Errorf("manifest: %s: %w", manifestPath(dir), err)
+	}
+	return m, true, nil
+}
+
+// writeManifest persists the provenance document atomically (tmp +
+// rename), so a kill mid-write never leaves a torn manifest to poison
+// the next resume.
+func writeManifest(dir string, m Manifest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	tmp := manifestPath(dir) + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, manifestPath(dir))
+}
+
+// reconcileManifest enforces resume safety: a checkpoint directory
+// carrying a manifest for a different campaign (different seed, scale,
+// shard plan, or specs) is refused rather than silently blended. A
+// matching manifest's Started stamp is preserved — the campaign started
+// when it first started, not when it was last resumed.
+func reconcileManifest(dir string, m *Manifest) error {
+	prev, ok, err := loadManifest(dir)
+	if err != nil {
+		return err
+	}
+	if ok {
+		if prev.fingerprint() != m.fingerprint() {
+			return fmt.Errorf("fleet: checkpoint dir %s belongs to a different campaign (manifest mismatch); use a fresh dir or matching flags", dir)
+		}
+		if prev.Started != "" {
+			m.Started = prev.Started
+		}
+		return nil
+	}
+	return writeManifest(dir, *m)
+}

@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"intango/internal/experiment"
+	"intango/internal/obs"
+)
+
+// Result is the merged output of a fleet campaign. Rows, Tallies,
+// Snapshot, Trials, and Failures are deterministic — bit-identical for
+// the same (seed, scale) regardless of shard count, worker count, or
+// kill/resume history — and are exactly what WriteJSON serializes for
+// golden comparison. Resume, Shards, and Series describe how this
+// particular run got there.
+type Result struct {
+	Plan     Plan
+	Rows     []experiment.Table1Row
+	Tallies  []experiment.Tally
+	Snapshot obs.Snapshot
+	Trials   int
+	Failures []FailureRef
+	Resume   experiment.ResumeHealth
+	Shards   []ShardStatus
+	Series   SeriesView
+}
+
+// resultDoc is the deterministic artifact WriteJSON emits — only the
+// fields that must be identical across any execution history, no
+// wall-clock anything.
+type resultDoc struct {
+	Campaign string                 `json:"campaign"`
+	Seed     int64                  `json:"seed"`
+	Scale    experiment.Scale       `json:"scale"`
+	Trials   int                    `json:"trials"`
+	Rows     []experiment.Table1Row `json:"rows"`
+	Tallies  []experiment.Tally     `json:"tallies"`
+	Obs      obs.Snapshot           `json:"obs"`
+	Failures []FailureRef           `json:"failures"`
+}
+
+// WriteJSON writes the deterministic slice of the result as indented
+// JSON — the artifact fleet-smoke diffs between an interrupted-and-
+// resumed campaign and an uninterrupted reference run.
+func (res *Result) WriteJSON(w io.Writer) error {
+	doc := resultDoc{
+		Campaign: res.Plan.Campaign,
+		Seed:     res.Plan.Seed,
+		Scale:    res.Plan.Scale,
+		Trials:   res.Trials,
+		Rows:     res.Rows,
+		Tallies:  res.Tallies,
+		Obs:      res.Snapshot,
+		Failures: res.Failures,
+	}
+	if doc.Failures == nil {
+		doc.Failures = []FailureRef{}
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Health assembles the campaign health digest from the merged result:
+// the standard outcome/strategy/stage/eviction sections plus the
+// fleet-only shard table and resume summary.
+func (res *Result) Health(campaign string, workers int, wall time.Duration) experiment.HealthReport {
+	h := experiment.HealthReport{
+		Campaign:    campaign,
+		Seed:        res.Plan.Seed,
+		Workers:     workers,
+		WallSeconds: wall.Seconds(),
+		Trials:      res.Trials,
+	}
+	strat := map[string]*experiment.StrategyHealth{}
+	var order []string
+	for _, t := range res.Tallies {
+		h.Success += int64(t.Success)
+		h.Failure1 += int64(t.Failure1)
+		h.Failure2 += int64(t.Failure2)
+	}
+	// Per-strategy rollup from the final rows (sensitive + clean arms).
+	for _, row := range res.Rows {
+		key := row.Strategy + " / " + row.Discrepancy
+		sh, ok := strat[key]
+		if !ok {
+			sh = &experiment.StrategyHealth{Strategy: key}
+			strat[key] = sh
+			order = append(order, key)
+		}
+		sh.Done += int64(row.Sensitive.Total + row.Clean.Total)
+		sh.Success += int64(row.Sensitive.Success + row.Clean.Success)
+	}
+	for _, key := range order {
+		sh := strat[key]
+		if sh.Done > 0 {
+			sh.SuccessPct = 100 * float64(sh.Success) / float64(sh.Done)
+		}
+		h.Strategies = append(h.Strategies, *sh)
+	}
+	if h.Trials > 0 {
+		h.SuccessPct = 100 * float64(h.Success) / float64(h.Trials)
+	}
+	for _, p := range res.Series.Fleet.Points {
+		h.Throughput = append(h.Throughput, experiment.ThroughputPoint{
+			T: p.T, Done: p.Values["done"], TrialsPerSec: p.Values["trials_per_sec"],
+		})
+	}
+	h.SeriesSamples = len(res.Series.Fleet.Points)
+	h.SeriesDropped = res.Series.Fleet.Dropped
+	h.FillFromSnapshot(res.Snapshot)
+	for _, s := range res.Shards {
+		h.Shards = append(h.Shards, experiment.ShardHealth{
+			ID: s.ID, State: s.State, Jobs: s.JobEnd - s.JobStart,
+			Done: s.Done, Success: s.Success, Frames: s.Frames, Resumed: s.Resumed,
+		})
+	}
+	if res.Resume != (experiment.ResumeHealth{}) {
+		r := res.Resume
+		h.Resume = &r
+	}
+	return h
+}

@@ -1,0 +1,57 @@
+package obs
+
+// Snapshot re-ingestion: the checkpoint/resume machinery journals a
+// registry as its JSON Snapshot and later folds the decoded snapshot
+// back into a live registry. Because counter and gauge merges are
+// addition and histogram merges are bucket-wise integer addition —
+// exactly the Registry.Merge contract — a registry rebuilt from a
+// snapshot plus the metrics of the remaining trials is bit-identical
+// to one that observed every trial directly, in any fold order. That
+// commutativity is the invariant that makes a killed sharded campaign
+// resumable with byte-identical merged results.
+
+// AddSnapshot folds a decoded histogram snapshot into h bucket-wise,
+// exactly as Merge does for a live histogram: counts land in the
+// matching bucket (extra trailing buckets collapse into the overflow
+// bucket rather than corrupting memory), and sum/count add. Safe on a
+// nil receiver.
+func (h *Histogram) AddSnapshot(s HistogramSnapshot) {
+	if h == nil {
+		return
+	}
+	for i, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		j := i
+		if j >= len(h.counts) {
+			j = len(h.counts) - 1
+		}
+		h.counts[j].Add(n)
+	}
+	h.sum.Add(s.Sum)
+	h.total.Add(s.Count)
+}
+
+// MergeSnapshot folds a decoded snapshot into r: counters and gauges by
+// addition, histograms bucket-wise (registering each histogram with the
+// snapshot's own bounds on first use, so a registry rebuilt purely from
+// journaled frames keeps the original bucket layout). MergeSnapshot(s)
+// is equivalent to Merge(r2) where r2 is the registry s was captured
+// from — associative and commutative, so checkpoint frames can be
+// replayed in any order with bit-identical totals. Safe on a nil
+// receiver.
+func (r *Registry) MergeSnapshot(s Snapshot) {
+	if r == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		r.Add(name, v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Add(v)
+	}
+	for name, hs := range s.Histograms {
+		r.Histogram(name, hs.Bounds).AddSnapshot(hs)
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// populate fills a registry with a representative metric mix: counters,
+// gauges, and histograms with values in every bucket region including
+// overflow.
+func populate(r *Registry, scale uint64) {
+	r.Add("netem.events", 100*scale)
+	r.Add("trials.total", 7*scale)
+	r.Add("gfw.inject-type1", 3*scale)
+	r.Gauge("pool.level").Add(int64(5 * scale))
+	h := r.Histogram("span.handshake", DefaultDurationBuckets)
+	for i := uint64(0); i < scale; i++ {
+		h.Observe(1_000_000)           // first bucket
+		h.Observe(450_000_000)         // mid bucket
+		h.Observe(999_000_000_000_000) // overflow
+	}
+	g := r.Histogram("goodput.bps", GoodputBuckets)
+	g.Observe(20_000 * scale)
+}
+
+// TestSnapshotEncodeDecodeMergeRoundTrip is the checkpoint/resume
+// load-bearing invariant: a snapshot that goes through the JSON codec
+// and is folded into a fresh registry with MergeSnapshot reproduces the
+// original registry bit-for-bit.
+func TestSnapshotEncodeDecodeMergeRoundTrip(t *testing.T) {
+	src := NewRegistry()
+	populate(src, 3)
+	want := src.Snapshot()
+
+	b, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewRegistry()
+	dst.MergeSnapshot(decoded)
+	if got := dst.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("encode→decode→Merge round trip diverged:\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestMergeSnapshotEquivalentToMerge: folding a snapshot must be
+// indistinguishable from merging the live registry it was captured
+// from, and the fold must be order-independent.
+func TestMergeSnapshotEquivalentToMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	populate(a, 2)
+	populate(b, 5)
+	b.Add("censor.detect-keyword", 11) // a key only one side has
+
+	// Live merge: a + b.
+	live := NewRegistry()
+	live.Merge(a)
+	live.Merge(b)
+
+	// Snapshot merge, both orders.
+	viaSnap := NewRegistry()
+	viaSnap.MergeSnapshot(a.Snapshot())
+	viaSnap.MergeSnapshot(b.Snapshot())
+	viaSnapRev := NewRegistry()
+	viaSnapRev.MergeSnapshot(b.Snapshot())
+	viaSnapRev.MergeSnapshot(a.Snapshot())
+
+	want := live.Snapshot()
+	if got := viaSnap.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("snapshot merge != live merge:\ngot:  %+v\nwant: %+v", got, want)
+	}
+	if got := viaSnapRev.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("snapshot merge is order-dependent:\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestMergeSnapshotResumeShape mirrors the resume path: a registry that
+// observed trials 0..k, was snapshotted, and then a fresh registry that
+// replays the snapshot and observes trials k..n must equal a registry
+// that observed all n trials directly.
+func TestMergeSnapshotResumeShape(t *testing.T) {
+	observe := func(r *Registry, trial int) {
+		r.Inc("trials.total")
+		r.Add("netem.events", uint64(10+trial))
+		r.Histogram("span.handshake", DefaultDurationBuckets).Observe(uint64(trial+1) * 1_500_000)
+	}
+
+	full := NewRegistry()
+	for i := 0; i < 10; i++ {
+		observe(full, i)
+	}
+
+	first := NewRegistry()
+	for i := 0; i < 4; i++ {
+		observe(first, i)
+	}
+	frame, err := json.Marshal(first.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(frame, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	resumed := NewRegistry()
+	resumed.MergeSnapshot(decoded)
+	for i := 4; i < 10; i++ {
+		observe(resumed, i)
+	}
+
+	if got, want := resumed.Snapshot(), full.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed registry diverged from uninterrupted run:\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestAddSnapshotShapeMismatch: a snapshot with more buckets than the
+// live histogram folds the surplus into the overflow bucket instead of
+// panicking.
+func TestAddSnapshotShapeMismatch(t *testing.T) {
+	h := NewHistogram([]uint64{10, 20})
+	h.AddSnapshot(HistogramSnapshot{
+		Bounds: []uint64{10, 20, 30, 40},
+		Counts: []uint64{1, 2, 3, 4, 5},
+		Sum:    100, Count: 15,
+	})
+	s := h.Snapshot()
+	if s.Counts[0] != 1 || s.Counts[1] != 2 || s.Counts[2] != 12 {
+		t.Errorf("mismatched fold = %v, want [1 2 12]", s.Counts)
+	}
+	if s.Count != 15 || s.Sum != 100 {
+		t.Errorf("count/sum = %d/%d", s.Count, s.Sum)
+	}
+}
