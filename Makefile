@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race fuzz-smoke bench-smoke bench bench-compare bench-gate bench-obs health-golden fleet-smoke
+.PHONY: check build fmt vet test race fuzz-smoke bench-smoke bench bench-compare bench-gate bench-obs health-golden fleet-smoke intangd-smoke
 
 # check is the fast gate: build, formatting, vet, tests (which include
 # the health-report golden and the disabled-telemetry alloc gate), the
@@ -8,7 +8,7 @@ GO ?= go
 # the hot-path benchmarks so a broken benchmark can't sit unnoticed
 # until the next `make bench`. The race detector runs as its own target
 # (and its own CI job) because it multiplies test time severalfold.
-check: build fmt vet test health-golden fuzz-smoke bench-smoke fleet-smoke
+check: build fmt vet test health-golden fuzz-smoke bench-smoke fleet-smoke intangd-smoke
 
 build:
 	$(GO) build ./...
@@ -98,3 +98,32 @@ fleet-smoke:
 	cmp $(FLEET_TMP)/resumed.json $(FLEET_TMP)/serial.json
 	@echo "fleet-smoke: kill/resume result is bit-identical to serial"
 	@rm -rf $(FLEET_TMP)
+
+# intangd-smoke boots the live evasion daemon against a fully pinned
+# gfw2017 (no sampled probabilities), then drives the whole loop from
+# the outside: a keyword fetch that must evade under teardown-reversal,
+# a live strategy switch to passthrough over the plane, the same fetch
+# now censored, and a /flows scrape that must show both flows — the
+# evaded one under its strategy and the censored one with got_rst. The
+# censored fetch runs last so its 90-second pair blocklist never sits
+# in the smoke's way.
+INTANGD_TMP := $(shell mktemp -d /tmp/intangd-smoke.XXXXXX)
+INTANGD_CENSOR := tcb:evolved detect:keywords(ultrasurf) react:reset(type1) react:reset(type2) react:block(dur=1m30s) param:miss(p=0) param:resync(p=0) param:seglastwins(p=0)
+intangd-smoke:
+	$(GO) build -o $(INTANGD_TMP)/intangd ./cmd/intangd
+	$(INTANGD_TMP)/intangd serve -ports-file $(INTANGD_TMP)/ports.env \
+		-strategy teardown-reversal -censor '$(INTANGD_CENSOR)' \
+		> $(INTANGD_TMP)/serve.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 100); do [ -s $(INTANGD_TMP)/ports.env ] && break; sleep 0.1; done; \
+	. $(INTANGD_TMP)/ports.env; \
+	$(INTANGD_TMP)/intangd fetch -addr $$proxy -uri '/search?q=ultrasurf' -expect ok && \
+	$(INTANGD_TMP)/intangd strategy -plane $$plane pass >/dev/null && \
+	$(INTANGD_TMP)/intangd fetch -addr $$proxy -uri '/search?q=ultrasurf' -expect blocked && \
+	$(INTANGD_TMP)/intangd flows -plane $$plane > $(INTANGD_TMP)/flows.json; \
+	status=$$?; kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	[ $$status -eq 0 ] || { cat $(INTANGD_TMP)/serve.log; exit $$status; }; \
+	grep -q 'teardown-reversal' $(INTANGD_TMP)/flows.json && \
+	grep -q '"got_rst":true' $(INTANGD_TMP)/flows.json
+	@echo "intangd-smoke: evaded, switched live, censored, flows observed"
+	@rm -rf $(INTANGD_TMP)

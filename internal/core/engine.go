@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"intango/internal/device"
 	"intango/internal/netem"
 	"intango/internal/packet"
 	"intango/internal/tcpstack"
@@ -12,13 +13,26 @@ import (
 // position INTANG occupies with netfilter-queue (§6). It tracks flows,
 // instantiates a per-connection Strategy, applies it to outbound
 // packets, and re-sends insertion packets to survive loss.
+//
+// The engine emits through the device boundary: in a simulated trial
+// Dev is a NetemEnd wrapping the client end of the substrate, and in
+// the live proxy it is whatever packet carrier the daemon runs on. The
+// engine itself stays the client-side netem.Endpoint in simulation, so
+// inbound delivery is unchanged.
 type Engine struct {
 	Sim *netem.Simulator
-	// Net is the substrate the engine emits onto: the linear Path or
-	// the graph Fabric, behind the same interface.
-	Net   netem.Net
+	// Dev is the packet device the engine emits onto.
+	Dev device.Device
+	// Stack, when set, receives inbound packets (the in-simulation
+	// client). A daemon-mode engine leaves it nil and sets Upstream.
 	Stack *tcpstack.Stack
 	Env   Env
+
+	// Upstream, when set and Stack is nil, receives every inbound
+	// packet that passes OnInbound — the live proxy's path back to its
+	// real clients. The packet still belongs to the substrate for the
+	// duration of the call; implementations copy what they keep.
+	Upstream func(pkt *packet.Packet)
 
 	// NewStrategy picks the strategy for a new flow. A nil return (or
 	// nil field) passes traffic through untouched.
@@ -44,6 +58,15 @@ type Engine struct {
 	sentAny     bool
 
 	flows map[packet.FourTuple]*flowState
+
+	// dev is the inline adapter storage NewEngine binds over a netem
+	// substrate — a value field, so the Device boundary costs no extra
+	// heap object per trial.
+	dev device.NetemEnd
+	// pool and stamper cache the device's capabilities so the per-
+	// packet path does no interface re-assertion.
+	pool    *packet.Pool
+	stamper device.LineageStamper
 }
 
 type flowState struct {
@@ -52,14 +75,40 @@ type flowState struct {
 }
 
 // NewEngine wires an engine between stack and the client end of n.
+// A nil stack builds a daemon-mode engine: outbound packets enter
+// through Outbound, inbound packets leave through Upstream.
 func NewEngine(sim *netem.Simulator, n netem.Net, stack *tcpstack.Stack, env Env) *Engine {
 	e := &Engine{
-		Sim: sim, Net: n, Stack: stack, Env: env,
+		Sim: sim, Stack: stack, Env: env,
 		flows: make(map[packet.FourTuple]*flowState),
 	}
-	stack.Send = e.Outbound
+	e.dev = device.NetemEnd{Net: n}
+	e.Dev = &e.dev
+	e.bindDev()
+	if stack != nil {
+		stack.Send = e.Outbound
+	}
 	n.SetClient(e)
 	return e
+}
+
+// NewEngineOn wires an engine directly onto a packet device — the
+// daemon entry point, where there is no netem substrate to claim an
+// endpoint on. The caller pumps client traffic into Outbound and
+// receives the return path via Upstream (or a Stack, if it sets one).
+func NewEngineOn(sim *netem.Simulator, dev device.Device, env Env) *Engine {
+	e := &Engine{
+		Sim: sim, Dev: dev, Env: env,
+		flows: make(map[packet.FourTuple]*flowState),
+	}
+	e.bindDev()
+	return e
+}
+
+// bindDev caches the device's pool and lineage capabilities.
+func (e *Engine) bindDev() {
+	e.pool = device.PoolOf(e.Dev)
+	e.stamper, _ = e.Dev.(device.LineageStamper)
 }
 
 // StrategyFor returns the live strategy instance for a flow, if any.
@@ -82,7 +131,9 @@ func (e *Engine) Outbound(pkt *packet.Packet) {
 	}
 	// Assign the wire ID now, before strategies run, so insertion
 	// packets crafted from this one can record it as lineage parent.
-	e.Net.StampLineage(pkt)
+	if e.stamper != nil {
+		e.stamper.StampLineage(pkt)
+	}
 	tuple := pkt.Tuple()
 	fs := e.flows[tuple]
 	if fs == nil {
@@ -167,7 +218,7 @@ func (e *Engine) emit(emissions []Emission) {
 			case em.Insertion:
 				// Each wave sends its own copy; pooled clones let the
 				// path recycle them at end-of-life.
-				clone := e.Net.PacketPool().Clone(em.Pkt)
+				clone := e.pool.Clone(em.Pkt)
 				e.Sim.At(delay+em.Delay, func() { e.send(Emission{Pkt: clone, Insertion: true}) })
 			case last:
 				p := em.Pkt
@@ -187,7 +238,7 @@ func (e *Engine) send(em Emission) {
 	if e.OnOutboundRaw != nil {
 		e.OnOutboundRaw(em)
 	}
-	e.Net.SendFromClient(em.Pkt)
+	_ = e.Dev.WritePacket(em.Pkt)
 }
 
 // Deliver implements netem.Endpoint for the client end.
@@ -200,8 +251,24 @@ func (e *Engine) Deliver(pkt *packet.Packet) {
 			fs.flow.ServerISN = pkt.TCP.Seq
 		}
 	}
-	e.Stack.Deliver(pkt)
+	switch {
+	case e.Stack != nil:
+		e.Stack.Deliver(pkt)
+	case e.Upstream != nil:
+		e.Upstream(pkt)
+	}
 }
+
+// DropFlow forgets the per-flow state for tuple (both orientations) —
+// the daemon's idle-flow expiry calls it so a long-running engine's
+// flow table cannot grow without bound.
+func (e *Engine) DropFlow(tuple packet.FourTuple) {
+	delete(e.flows, tuple)
+	delete(e.flows, tuple.Reverse())
+}
+
+// Flows returns the number of tracked flows.
+func (e *Engine) Flows() int { return len(e.flows) }
 
 // Reset drops all flow state (between trials).
 func (e *Engine) Reset() {

@@ -56,8 +56,11 @@ func (r *Runner) RunParallel(jobs []trialJob, tallies []*Tally) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Under PerWorkerPool each worker recycles through its own
+			// private pool; otherwise all workers share one sync.Pool.
+			pool := r.newWorkerPool()
 			for job := range ch {
-				out := r.runOne(job.vp, job.srv, job.factory, job.sensitive, job.trial, obsShards[w], job.label)
+				out := r.runOne(job.vp, job.srv, job.factory, job.sensitive, job.trial, obsShards[w], job.label, pool)
 				tallyShards[w][job.sink].Add(out)
 				prog.note(job.label, out)
 			}

@@ -155,9 +155,12 @@ func (r *Runner) RunCubeRange(c *Cube, st *ShardState, every int, onTrial func(l
 		every = DefaultCheckpointEvery
 	}
 	since := 0
+	// A shard is one worker: under PerWorkerPool it recycles through its
+	// own private pool, like a RunParallel worker would.
+	pool := r.newWorkerPool()
 	for st.Cursor < st.End {
 		job := c.jobs[st.Cursor]
-		out := r.runOne(job.vp, job.srv, job.factory, job.sensitive, job.trial, st.Sink, job.label)
+		out := r.runOne(job.vp, job.srv, job.factory, job.sensitive, job.trial, st.Sink, job.label, pool)
 		st.Tallies[job.sink].Add(out)
 		st.Cursor++
 		since++

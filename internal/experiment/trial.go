@@ -71,6 +71,13 @@ type Runner struct {
 	// packets on the heap. The pooling determinism test uses it as the
 	// control arm; campaigns leave it false.
 	NoPool bool
+	// PerWorkerPool gives each RunParallel worker a private packet pool
+	// instead of the shared sync.Pool-backed one — no cross-CPU recycle
+	// traffic on many-core fleets. Serial entry points keep the shared
+	// pool; results are bit-identical either way (pooling only recycles
+	// storage, never changes behaviour), which the determinism test
+	// pins.
+	PerWorkerPool bool
 	// Causal, when set (and Obs is attached), records a full causal
 	// trace — packet bytes with lineage plus the complete event stream —
 	// for every trial and retains the bundle on each failing trial the
@@ -108,6 +115,10 @@ type Runner struct {
 
 	poolOnce sync.Once
 	pool     *packet.Pool
+	// workerPools collects the per-worker pools RunParallel created so
+	// PoolStats can aggregate them with the shared pool.
+	poolMu      sync.Mutex
+	workerPools []*packet.Pool
 }
 
 // packetPool returns the runner's shared packet pool (nil when pooling
@@ -121,15 +132,41 @@ func (r *Runner) packetPool() *packet.Pool {
 	return r.pool
 }
 
-// PoolStats snapshots the shared packet pool's traffic counters. When
-// pooling is disabled (NoPool) or no trial has run yet, there is no
-// pool; the snapshot is explicitly zero rather than a nil-receiver
-// dereference.
-func (r *Runner) PoolStats() packet.PoolStats {
-	if r.pool == nil {
-		return packet.PoolStats{}
+// workerPool returns the pool one RunParallel worker should thread
+// through its trials: nil when pooling is off, a freshly registered
+// private pool under PerWorkerPool, and the shared pool otherwise.
+func (r *Runner) newWorkerPool() *packet.Pool {
+	if r.NoPool {
+		return nil
 	}
-	return r.pool.Stats()
+	if !r.PerWorkerPool {
+		return r.packetPool()
+	}
+	pl := packet.NewPool()
+	r.poolMu.Lock()
+	r.workerPools = append(r.workerPools, pl)
+	r.poolMu.Unlock()
+	return pl
+}
+
+// PoolStats snapshots the packet-pool traffic counters, summed across
+// the shared pool and any per-worker pools. When pooling is disabled
+// (NoPool) or no trial has run yet, there is no pool; the snapshot is
+// explicitly zero rather than a nil-receiver dereference.
+func (r *Runner) PoolStats() packet.PoolStats {
+	var s packet.PoolStats
+	if r.pool != nil {
+		s = r.pool.Stats()
+	}
+	r.poolMu.Lock()
+	for _, pl := range r.workerPools {
+		ps := pl.Stats()
+		s.Gets += ps.Gets
+		s.Puts += ps.Puts
+		s.News += ps.News
+	}
+	r.poolMu.Unlock()
+	return s
 }
 
 // ProgressAddr returns the bound address of the live progress HTTP
@@ -183,7 +220,7 @@ type rig struct {
 // rig binder. Measured paths are linear chains and compile to the
 // allocation-free netem.Path; a graph Runner.Topo compiles to a
 // netem.Fabric.
-func (r *Runner) build(vp VantagePoint, srv Server, trialSeed int64) *rig {
+func (r *Runner) build(vp VantagePoint, srv Server, trialSeed int64, pool *packet.Pool) *rig {
 	rg := &rig{sim: netem.NewSimulator(trialSeed)}
 	trialRng := rg.sim.Rand()
 	pairRng := rand.New(rand.NewSource(r.pairSeed(vp, srv)))
@@ -205,7 +242,7 @@ func (r *Runner) build(vp VantagePoint, srv Server, trialSeed int64) *rig {
 
 	prog := r.program(vp, srv, hops)
 	binder := &rigBinder{r: r, vp: vp, rg: rg, trialRng: trialRng, pairRng: pairRng}
-	n, err := prog.Instantiate(binder, topo.Options{Sim: rg.sim, Pool: r.packetPool()})
+	n, err := prog.Instantiate(binder, topo.Options{Sim: rg.sim, Pool: pool})
 	if err != nil {
 		// Derived specs are valid by construction and overrides are
 		// validated at parse; a bind failure here is a programming error.
@@ -275,9 +312,9 @@ func (rg *rig) attachObs(b *obs.Obs) {
 // complete event stream and every wire packet; tracing only observes —
 // it never schedules events or draws randomness, so a traced trial is
 // bit-identical to an untraced one.
-func (r *Runner) runRig(vp VantagePoint, srv Server, factory core.Factory, sensitive bool, trial int, reg *obs.Registry, tc *trace.Tracer) (Outcome, *rig, *obs.Recorder) {
+func (r *Runner) runRig(vp VantagePoint, srv Server, factory core.Factory, sensitive bool, trial int, reg *obs.Registry, tc *trace.Tracer, pool *packet.Pool) (Outcome, *rig, *obs.Recorder) {
 	trialSeed := r.pairSeed(vp, srv) ^ int64(uint64(trial)*0x9e3779b97f4a7c15)
-	rg := r.build(vp, srv, trialSeed)
+	rg := r.build(vp, srv, trialSeed, pool)
 	var rec *obs.Recorder
 	if reg != nil {
 		rec = obs.NewRecorder(obs.DefaultRingSize, rg.sim.Now)
@@ -354,9 +391,9 @@ func recordStageSpans(rg *rig, conn *tcpstack.Conn, reg *obs.Registry, rec *obs.
 }
 
 // runOne runs one trial against an explicit sink (RunParallel hands
-// each worker its own shard here). label names the strategy for the
-// failure-trace retention key.
-func (r *Runner) runOne(vp VantagePoint, srv Server, factory core.Factory, sensitive bool, trial int, sink *ObsSink, label string) Outcome {
+// each worker its own shard here, plus the worker's packet pool).
+// label names the strategy for the failure-trace retention key.
+func (r *Runner) runOne(vp VantagePoint, srv Server, factory core.Factory, sensitive bool, trial int, sink *ObsSink, label string, pool *packet.Pool) Outcome {
 	var reg *obs.Registry
 	var tc *trace.Tracer
 	if sink != nil {
@@ -365,7 +402,7 @@ func (r *Runner) runOne(vp VantagePoint, srv Server, factory core.Factory, sensi
 			tc = trace.New()
 		}
 	}
-	out, rg, rec := r.runRig(vp, srv, factory, sensitive, trial, reg, tc)
+	out, rg, rec := r.runRig(vp, srv, factory, sensitive, trial, reg, tc, pool)
 	if sink != nil {
 		var bundle *trace.Trace
 		if tc != nil && out != Success {
@@ -381,14 +418,14 @@ func (r *Runner) runOne(vp VantagePoint, srv Server, factory core.Factory, sensi
 
 // RunOne executes a single strategy trial and classifies it.
 func (r *Runner) RunOne(vp VantagePoint, srv Server, factory core.Factory, sensitive bool, trial int) Outcome {
-	return r.runOne(vp, srv, factory, sensitive, trial, r.Obs, "")
+	return r.runOne(vp, srv, factory, sensitive, trial, r.Obs, "", r.packetPool())
 }
 
 // RunOneTraced runs one trial with a private flight recorder and
 // returns the classification together with the retained trace — the
 // §3.4 controlled-experiment hook diagnosis builds on.
 func (r *Runner) RunOneTraced(vp VantagePoint, srv Server, factory core.Factory, sensitive bool, trial int) (Outcome, []obs.Event) {
-	out, _, rec := r.runRig(vp, srv, factory, sensitive, trial, obs.NewRegistry(), nil)
+	out, _, rec := r.runRig(vp, srv, factory, sensitive, trial, obs.NewRegistry(), nil, r.packetPool())
 	return out, rec.Events()
 }
 
@@ -398,7 +435,7 @@ func (r *Runner) RunOneTraced(vp VantagePoint, srv Server, factory core.Factory,
 // the strategy in the trace meta; pass "" for no strategy.
 func (r *Runner) RunOneCausal(vp VantagePoint, srv Server, factory core.Factory, label string, sensitive bool, trial int) (Outcome, *trace.Trace) {
 	tc := trace.New()
-	out, _, _ := r.runRig(vp, srv, factory, sensitive, trial, obs.NewRegistry(), tc)
+	out, _, _ := r.runRig(vp, srv, factory, sensitive, trial, obs.NewRegistry(), tc, r.packetPool())
 	return out, tc.Finish(trace.Meta{
 		Strategy: label, VP: vp.Name, Server: srv.Name,
 		Trial: trial, Outcome: out.String(),
@@ -427,7 +464,7 @@ func fetch(rg *rig, srv Server, sensitive bool) *tcpstack.Conn {
 // Between trials it waits out any active blocklist period, as the
 // paper's methodology did (§3.3).
 func (r *Runner) RunINTANGSeries(vp VantagePoint, srv Server, trials int) []Outcome {
-	rg := r.build(vp, srv, r.pairSeed(vp, srv))
+	rg := r.build(vp, srv, r.pairSeed(vp, srv), r.packetPool())
 	it := intang.New(rg.sim, rg.net, rg.cli, intang.Options{})
 	it.Engine.Env.InsertionTTL = insertionTTL(srv)
 	if r.Obs != nil {

@@ -380,7 +380,7 @@ func (it *INTANG) MeasureHops(dst packet.Addr, port uint16) {
 		probe.Finalize()
 		delay := time.Duration(ttl) * time.Millisecond
 		p := probe
-		it.sim.At(delay, func() { it.Engine.Net.SendFromClient(p) })
+		it.sim.At(delay, func() { it.Engine.Dev.WritePacket(p) })
 	}
 	it.Stats["hop-probe-sweeps"]++
 }

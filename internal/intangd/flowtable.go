@@ -1,0 +1,232 @@
+// Package intangd is the live evasion proxy: a long-running daemon
+// that multiplexes real client flows through the strategy engine and
+// out across a (simulated or real) censored path. It is the daemon
+// counterpart of the per-trial experiment rig — same engine, same
+// censor devices, same observability plane, but flows arrive
+// concurrently from outside instead of being scripted one at a time.
+package intangd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"intango/internal/packet"
+)
+
+// FlowInfo is the per-flow record the daemon keeps alongside the
+// engine's strategy state: traffic counters, liveness timestamps on
+// both clocks, and the TCP teardown signals seen from the network side.
+type FlowInfo struct {
+	Tuple    packet.FourTuple
+	Strategy string
+
+	OutPkts  uint64
+	InPkts   uint64
+	OutBytes uint64
+	InBytes  uint64
+
+	GotRST  bool // RST arrived from the network side (censor or server)
+	FINSeen bool // orderly close observed in either direction
+
+	OpenedWall time.Time
+	LastWall   time.Time
+	OpenedVirt time.Duration
+	LastVirt   time.Duration
+}
+
+// FlowView is the JSON shape /flows serves.
+type FlowView struct {
+	Tuple    string `json:"tuple"`
+	Strategy string `json:"strategy"`
+	State    string `json:"state"`
+	OutPkts  uint64 `json:"out_pkts"`
+	InPkts   uint64 `json:"in_pkts"`
+	OutBytes uint64 `json:"out_bytes"`
+	InBytes  uint64 `json:"in_bytes"`
+	GotRST   bool   `json:"got_rst"`
+	AgeMS    int64  `json:"age_ms"`
+	IdleMS   int64  `json:"idle_ms"`
+	VirtMS   int64  `json:"virt_ms"` // virtual-clock lifetime
+}
+
+type flowShard struct {
+	mu    sync.Mutex
+	flows map[packet.FourTuple]*FlowInfo
+}
+
+// FlowTable is the daemon's sharded per-flow state table. Shard count
+// is a power of two; a flow's shard comes from an FNV-1a hash of its
+// canonical tuple, so both directions of a connection land on the same
+// shard without allocating a key.
+type FlowTable struct {
+	shards []flowShard
+	mask   uint32
+}
+
+// NewFlowTable builds a table with at least n shards (n rounds up to a
+// power of two; n<=0 means 16).
+func NewFlowTable(n int) *FlowTable {
+	if n <= 0 {
+		n = 16
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	t := &FlowTable{shards: make([]flowShard, size), mask: uint32(size - 1)}
+	for i := range t.shards {
+		t.shards[i].flows = make(map[packet.FourTuple]*FlowInfo)
+	}
+	return t
+}
+
+// shardFor hashes the canonical tuple inline (FNV-1a over the 12
+// addr/port bytes) — no per-packet allocation.
+func (t *FlowTable) shardFor(k packet.FourTuple) *flowShard {
+	h := uint32(2166136261)
+	step := func(b byte) { h = (h ^ uint32(b)) * 16777619 }
+	for i := 0; i < 4; i++ {
+		step(k.SrcAddr[i])
+	}
+	step(byte(k.SrcPort >> 8))
+	step(byte(k.SrcPort))
+	for i := 0; i < 4; i++ {
+		step(k.DstAddr[i])
+	}
+	step(byte(k.DstPort >> 8))
+	step(byte(k.DstPort))
+	return &t.shards[h&t.mask]
+}
+
+func pktBytes(pkt *packet.Packet) uint64 {
+	if n := pkt.IP.TotalLength; n > 0 {
+		return uint64(n)
+	}
+	return uint64(len(pkt.Payload))
+}
+
+// TouchOutbound records a client-side packet, creating the flow record
+// (stamped with the strategy in force) on first sight. Returns true
+// when this packet opened a new flow.
+func (t *FlowTable) TouchOutbound(pkt *packet.Packet, strategy string, wall time.Time, virt time.Duration) bool {
+	key := pkt.Tuple().Canonical()
+	sh := t.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fi, ok := sh.flows[key]
+	if !ok {
+		fi = &FlowInfo{
+			Tuple: pkt.Tuple(), Strategy: strategy,
+			OpenedWall: wall, OpenedVirt: virt,
+		}
+		sh.flows[key] = fi
+	}
+	fi.OutPkts++
+	fi.OutBytes += pktBytes(pkt)
+	fi.LastWall, fi.LastVirt = wall, virt
+	if pkt.TCP != nil && pkt.TCP.HasFlag(packet.FlagFIN) {
+		fi.FINSeen = true
+	}
+	return !ok
+}
+
+// TouchInbound records a network-side packet for an already-open flow;
+// packets for unknown flows (e.g. censor injections racing expiry) are
+// counted by the caller's registry but create no record.
+func (t *FlowTable) TouchInbound(pkt *packet.Packet, wall time.Time, virt time.Duration) {
+	key := pkt.Tuple().Canonical()
+	sh := t.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fi, ok := sh.flows[key]
+	if !ok {
+		return
+	}
+	fi.InPkts++
+	fi.InBytes += pktBytes(pkt)
+	fi.LastWall, fi.LastVirt = wall, virt
+	if pkt.TCP != nil {
+		if pkt.TCP.HasFlag(packet.FlagRST) {
+			fi.GotRST = true
+		}
+		if pkt.TCP.HasFlag(packet.FlagFIN) {
+			fi.FINSeen = true
+		}
+	}
+}
+
+// Len returns the live flow count.
+func (t *FlowTable) Len() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.flows)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Expire removes flows idle (wall clock) for longer than idle and
+// returns their canonical tuples so the caller can drop the engine's
+// matching strategy state.
+func (t *FlowTable) Expire(now time.Time, idle time.Duration) []packet.FourTuple {
+	var expired []packet.FourTuple
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for key, fi := range sh.flows {
+			if now.Sub(fi.LastWall) >= idle {
+				delete(sh.flows, key)
+				expired = append(expired, key)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return expired
+}
+
+// Snapshot renders the table for /flows, oldest flow first.
+func (t *FlowTable) Snapshot(now time.Time) []FlowView {
+	var out []FlowView
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, fi := range sh.flows {
+			state := "active"
+			switch {
+			case fi.GotRST:
+				state = "reset"
+			case fi.FINSeen:
+				state = "closing"
+			}
+			out = append(out, FlowView{
+				Tuple:    tupleString(fi.Tuple),
+				Strategy: fi.Strategy,
+				State:    state,
+				OutPkts:  fi.OutPkts, InPkts: fi.InPkts,
+				OutBytes: fi.OutBytes, InBytes: fi.InBytes,
+				GotRST: fi.GotRST,
+				AgeMS:  now.Sub(fi.OpenedWall).Milliseconds(),
+				IdleMS: now.Sub(fi.LastWall).Milliseconds(),
+				VirtMS: (fi.LastVirt - fi.OpenedVirt).Milliseconds(),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AgeMS != out[j].AgeMS {
+			return out[i].AgeMS > out[j].AgeMS
+		}
+		return out[i].Tuple < out[j].Tuple
+	})
+	return out
+}
+
+func tupleString(t packet.FourTuple) string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d->%d.%d.%d.%d:%d",
+		t.SrcAddr[0], t.SrcAddr[1], t.SrcAddr[2], t.SrcAddr[3], t.SrcPort,
+		t.DstAddr[0], t.DstAddr[1], t.DstAddr[2], t.DstAddr[3], t.DstPort)
+}

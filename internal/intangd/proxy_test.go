@@ -1,0 +1,174 @@
+package intangd_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"intango/internal/device/uis"
+	"intango/internal/intangd"
+	"intango/internal/packet"
+)
+
+// testCensor is the measured gfw2017 with every sampled probability
+// pinned: detection never misses, RSTs always tear the TCB down, and
+// reassembly is first-wins — so one fetch decides the outcome.
+const testCensor = "tcb:evolved detect:keywords(ultrasurf) " +
+	"react:reset(type1) react:reset(type2) react:block(dur=1m30s) " +
+	"param:miss(p=0) param:resync(p=0) param:seglastwins(p=0)"
+
+// newWorld boots a proxy against the deterministic censor and hangs a
+// userspace stack plus a stock net/http client off its client device.
+func newWorld(t *testing.T, strategy string) (*intangd.Proxy, *http.Client) {
+	t.Helper()
+	p, err := intangd.New(intangd.Config{
+		Censor:   testCensor,
+		Strategy: strategy,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cli := uis.New(p.ClientDevice(), uis.Config{
+		Addr:  p.ClientAddr(),
+		Seed:  1,
+		Hosts: map[string]packet.Addr{"origin.example": p.ServerAddr()},
+	})
+	hc := &http.Client{
+		Transport: &http.Transport{DialContext: cli.DialContext, DisableKeepAlives: true},
+		Timeout:   15 * time.Second,
+	}
+	t.Cleanup(func() {
+		cli.Close()
+		p.Close()
+	})
+	return p, hc
+}
+
+// TestProxyBlocksSensitiveFetch is the daemon half of the paper's
+// baseline: a real net/http GET carrying the censored keyword, dialed
+// through the userspace stack into intangd with no strategy, dies to
+// the censor's injected resets.
+func TestProxyBlocksSensitiveFetch(t *testing.T) {
+	p, hc := newWorld(t, "")
+
+	resp, err := hc.Get("http://origin.example/search?q=ultrasurf")
+	if err == nil {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("sensitive GET succeeded without a strategy: %d %q", resp.StatusCode, body)
+	}
+
+	if got := p.CensorStat("inject-type1") + p.CensorStat("inject-type2"); got == 0 {
+		t.Errorf("censor injected no resets (stats: type1=%d type2=%d)",
+			p.CensorStat("inject-type1"), p.CensorStat("inject-type2"))
+	}
+	views := p.FlowViews()
+	reset := false
+	for _, v := range views {
+		if v.GotRST {
+			reset = true
+		}
+	}
+	if !reset {
+		t.Errorf("no flow marked got_rst; flows: %+v", views)
+	}
+}
+
+// TestProxyEvadesWithStrategy is the payoff: the same real client, the
+// same censor, but the daemon wraps each flow in the Table 4
+// teardown-reversal strategy — and the keyword fetch completes.
+func TestProxyEvadesWithStrategy(t *testing.T) {
+	p, hc := newWorld(t, "teardown-reversal")
+
+	resp, err := hc.Get("http://origin.example/search?q=ultrasurf")
+	if err != nil {
+		t.Fatalf("GET through teardown-reversal: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if resp.StatusCode != 200 {
+		t.Errorf("status: got %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "it works") {
+		t.Errorf("body: got %q", body)
+	}
+
+	views := p.FlowViews()
+	if len(views) == 0 {
+		t.Fatalf("flow table empty after fetch")
+	}
+	found := false
+	for _, v := range views {
+		if v.Strategy == "teardown-reversal" && v.OutPkts > 0 && v.InPkts > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no flow recorded under teardown-reversal; flows: %+v", views)
+	}
+}
+
+// TestProxyStrategySwitchAndBlockWindow drives the live-switch loop:
+// evade, flip the daemon to passthrough mid-run, get censored, then
+// skip the 90-second pair blocklist on the virtual clock and evade
+// again after flipping back.
+func TestProxyStrategySwitchAndBlockWindow(t *testing.T) {
+	p, hc := newWorld(t, "teardown-reversal")
+
+	if _, err := hc.Get("http://origin.example/search?q=ultrasurf"); err != nil {
+		t.Fatalf("initial evaded GET: %v", err)
+	}
+
+	if err := p.SetStrategy("pass"); err != nil {
+		t.Fatalf("SetStrategy(pass): %v", err)
+	}
+	if got := p.Strategy(); got != "pass" {
+		t.Fatalf("Strategy() = %q", got)
+	}
+	if _, err := hc.Get("http://origin.example/search?q=ultrasurf"); err == nil {
+		t.Fatalf("sensitive GET succeeded on passthrough")
+	}
+
+	// The censored pair is now on the 90s blocklist; skip it on the
+	// virtual clock instead of waiting out wall time.
+	p.AdvanceVirtual(2 * time.Minute)
+
+	if err := p.SetStrategy("teardown-reversal"); err != nil {
+		t.Fatalf("SetStrategy back: %v", err)
+	}
+	resp, err := hc.Get("http://origin.example/search?q=ultrasurf")
+	if err != nil {
+		t.Fatalf("GET after block window: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status after block window: got %d", resp.StatusCode)
+	}
+}
+
+// TestResolveStrategy covers the three reference forms the daemon and
+// its plane accept.
+func TestResolveStrategy(t *testing.T) {
+	for _, ref := range []string{"", "none", "pass"} {
+		name, f, err := intangd.ResolveStrategy(ref)
+		if err != nil || f != nil || name != "pass" {
+			t.Errorf("ResolveStrategy(%q) = %q, %v, %v", ref, name, f, err)
+		}
+	}
+	name, f, err := intangd.ResolveStrategy("teardown-reversal")
+	if err != nil || f == nil || name != "teardown-reversal" {
+		t.Errorf("builtin: %q, %v, %v", name, f, err)
+	}
+	if _, f, err := intangd.ResolveStrategy("on:first-payload[teardown(flags=rst,disc=ttl)]"); err != nil || f == nil {
+		t.Errorf("raw spec: %v, %v", f, err)
+	}
+	if _, _, err := intangd.ResolveStrategy("no-such-strategy-!!!"); err == nil {
+		t.Errorf("garbage ref resolved")
+	}
+}

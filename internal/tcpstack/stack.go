@@ -3,6 +3,7 @@ package tcpstack
 import (
 	"time"
 
+	"intango/internal/device"
 	"intango/internal/netem"
 	"intango/internal/obs"
 	"intango/internal/packet"
@@ -36,8 +37,15 @@ type Stack struct {
 	Sim     *netem.Simulator
 
 	// Send transmits a packet into the network. Bind it with
-	// AttachClient/AttachServer or set it directly.
+	// AttachClient/AttachServer/AttachDevice or set it directly (the
+	// strategy engine interposes here).
 	Send func(pkt *packet.Packet)
+
+	// Dev is the packet device every crafted segment leaves through —
+	// the builders never reach into netem directly. Attach* binds it;
+	// dev is the inline adapter storage for the netem substrates.
+	Dev device.Device
+	dev device.NetemEnd
 
 	// InitialRTO and MaxRetries control retransmission. MinRTO and
 	// MaxRTO clamp the RFC 6298 sampled estimate: the 200ms floor
@@ -101,18 +109,37 @@ func NewStack(addr packet.Addr, profile Profile, sim *netem.Simulator) *Stack {
 }
 
 // AttachClient wires the stack to the client end of a substrate (a
-// linear netem.Path or a graph netem.Fabric).
+// linear netem.Path or a graph netem.Fabric): the stack stays the
+// end's inbound endpoint and transmits through an inline NetemEnd
+// device.
 func (s *Stack) AttachClient(n netem.Net) {
 	n.SetClient(s)
-	s.Send = n.SendFromClient
-	s.Pool = n.PacketPool()
+	s.dev = device.NetemEnd{Net: n}
+	s.bindNetemEnd(n)
 }
 
 // AttachServer wires the stack to the server end of a substrate.
 func (s *Stack) AttachServer(n netem.Net) {
 	n.SetServer(s)
-	s.Send = n.SendFromServer
+	s.dev = device.NetemEnd{Net: n, Server: true}
+	s.bindNetemEnd(n)
+}
+
+func (s *Stack) bindNetemEnd(n netem.Net) {
+	s.Dev = &s.dev
+	// Transmit has the Send hook's exact shape; binding it costs the
+	// same single method value the old direct netem binding did.
+	s.Send = s.dev.Transmit
 	s.Pool = n.PacketPool()
+}
+
+// AttachDevice wires the stack to an arbitrary packet device — a pipe,
+// a userspace carrier, anything on the Device boundary. Inbound
+// traffic is the caller's to pump (read the device, call Deliver).
+func (s *Stack) AttachDevice(d device.Device) {
+	s.Dev = d
+	s.Send = func(pkt *packet.Packet) { _ = d.WritePacket(pkt) }
+	s.Pool = device.PoolOf(d)
 }
 
 func (s *Stack) send(pkt *packet.Packet) {
